@@ -1,0 +1,72 @@
+"""Ablation -- sensitivity of the co-design to the tree depth.
+
+The depth hyperparameter drives both model quality and, in the proposed
+architecture, the amount of two-level label logic and the number of distinct
+unary digits.  This ablation sweeps the paper's depth grid at tau = 0.01 on
+one benchmark (vertebral_3c) and reports accuracy and hardware per depth.
+"""
+
+from repro.analysis.render import render_table
+from repro.core.adc_aware_training import ADCAwareTrainer
+from repro.core.exploration import DEFAULT_DEPTHS, proposed_hardware_report
+from repro.datasets.registry import load_dataset
+from repro.mltrees.evaluation import accuracy_score, train_test_split
+from repro.mltrees.quantize import quantize_dataset
+from repro.pdk.egfet import default_technology
+
+DATASET = "vertebral_3c"
+TAU = 0.01
+
+
+def _sweep(seed: int = 0):
+    technology = default_technology()
+    dataset = load_dataset(DATASET, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=seed
+    )
+    X_train_levels = quantize_dataset(X_train)
+    X_test_levels = quantize_dataset(X_test)
+
+    rows = []
+    for depth in DEFAULT_DEPTHS:
+        tree = ADCAwareTrainer(max_depth=depth, gini_threshold=TAU, seed=seed).fit(
+            X_train_levels, y_train, dataset.n_classes
+        )
+        accuracy = accuracy_score(y_test, tree.predict_levels(X_test_levels))
+        hardware = proposed_hardware_report(tree, technology, name=f"depth={depth}")
+        rows.append(
+            {
+                "depth": depth,
+                "accuracy_pct": accuracy * 100.0,
+                "decision_nodes": tree.n_decision_nodes,
+                "adc_comparators": hardware.n_adc_comparators,
+                "total_area_mm2": hardware.total_area_mm2,
+                "total_power_mw": hardware.total_power_mw,
+            }
+        )
+    return rows
+
+
+def _render(rows) -> str:
+    table = render_table(
+        ["depth", "accuracy (%)", "#decision nodes", "#ADC comparators",
+         "area (mm2)", "power (mW)"],
+        [
+            (r["depth"], r["accuracy_pct"], r["decision_nodes"],
+             r["adc_comparators"], r["total_area_mm2"], r["total_power_mw"])
+            for r in rows
+        ],
+    )
+    return f"ADC-aware training on '{DATASET}' with tau = {TAU}\n" + table
+
+
+def test_ablation_depth_sensitivity(benchmark, bench_seed, write_report):
+    """Sweep the depth grid at fixed tau."""
+    rows = benchmark.pedantic(lambda: _sweep(bench_seed), rounds=1, iterations=1)
+    write_report("ablation_depth", _render(rows))
+
+    assert len(rows) == len(DEFAULT_DEPTHS)
+    # Hardware must grow monotonically-ish with depth (more nodes => never fewer digits).
+    assert rows[-1]["adc_comparators"] >= rows[0]["adc_comparators"]
+    # Accuracy at the deepest setting should not collapse versus the shallowest.
+    assert rows[-1]["accuracy_pct"] >= rows[0]["accuracy_pct"] - 5.0

@@ -1,0 +1,83 @@
+"""Ablation -- sensitivity of the co-design to the Gini tolerance tau.
+
+Section III-C argues that tau trades accuracy for hardware: tau = 0 cannot
+hurt accuracy (only equivalent-quality splits are reordered) while larger
+values enlarge the candidate set and unlock more comparator reuse.  This
+ablation fixes the depth to the baseline depth of one mid-sized benchmark
+(seeds) and sweeps tau over the paper's grid, reporting accuracy, the number
+of distinct ADC comparators and the total power of the resulting design.
+"""
+
+from repro.analysis.render import render_table
+from repro.core.adc_aware_training import ADCAwareTrainer
+from repro.core.exploration import DEFAULT_TAUS, proposed_hardware_report
+from repro.datasets.registry import load_dataset
+from repro.mltrees.cart import fit_baseline_tree
+from repro.mltrees.evaluation import accuracy_score, train_test_split
+from repro.mltrees.quantize import quantize_dataset
+from repro.pdk.egfet import default_technology
+
+DATASET = "seeds"
+
+
+def _sweep(seed: int = 0):
+    technology = default_technology()
+    dataset = load_dataset(DATASET, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=seed
+    )
+    X_train_levels = quantize_dataset(X_train)
+    X_test_levels = quantize_dataset(X_test)
+    baseline = fit_baseline_tree(
+        X_train_levels, y_train, X_test_levels, y_test, dataset.n_classes, seed=seed
+    )
+
+    rows = []
+    for tau in DEFAULT_TAUS:
+        tree = ADCAwareTrainer(
+            max_depth=baseline.depth, gini_threshold=tau, seed=seed
+        ).fit(X_train_levels, y_train, dataset.n_classes)
+        accuracy = accuracy_score(y_test, tree.predict_levels(X_test_levels))
+        hardware = proposed_hardware_report(tree, technology, name=f"tau={tau:g}")
+        rows.append(
+            {
+                "tau": tau,
+                "accuracy_pct": accuracy * 100.0,
+                "accuracy_delta_pct": (accuracy - baseline.test_accuracy) * 100.0,
+                "adc_comparators": hardware.n_adc_comparators,
+                "total_area_mm2": hardware.total_area_mm2,
+                "total_power_mw": hardware.total_power_mw,
+            }
+        )
+    return baseline, rows
+
+
+def _render(baseline, rows) -> str:
+    table = render_table(
+        ["tau", "accuracy (%)", "delta vs baseline (%)", "#ADC comparators",
+         "area (mm2)", "power (mW)"],
+        [
+            (r["tau"], r["accuracy_pct"], r["accuracy_delta_pct"],
+             r["adc_comparators"], r["total_area_mm2"], r["total_power_mw"])
+            for r in rows
+        ],
+    )
+    header = (
+        f"ADC-aware training on '{DATASET}' at the baseline depth "
+        f"{baseline.depth} (baseline accuracy {baseline.test_accuracy * 100:.1f}%)\n"
+    )
+    return header + table
+
+
+def test_ablation_tau_sensitivity(benchmark, bench_seed, write_report):
+    """Sweep tau at fixed depth and check the accuracy/hardware trade-off."""
+    baseline, rows = benchmark.pedantic(
+        lambda: _sweep(bench_seed), rounds=1, iterations=1
+    )
+    write_report("ablation_tau", _render(baseline, rows))
+
+    by_tau = {row["tau"]: row for row in rows}
+    # tau = 0 must not lose noticeable accuracy vs the conventional baseline.
+    assert by_tau[0.0]["accuracy_delta_pct"] >= -2.0
+    # The largest tau must not need more ADC comparators than tau = 0.
+    assert by_tau[max(by_tau)]["adc_comparators"] <= by_tau[0.0]["adc_comparators"]

@@ -1,0 +1,50 @@
+"""Fig. 3 -- area/power of bespoke ADCs vs number and position of output digits.
+
+Regenerates the series behind Fig. 3 of the paper: for every output-digit
+count from 1-UD to 15-UD, the area (position-independent, linear in the
+count) and the power of every contiguous window of retained reference levels,
+plus the conventional 4-bit flash ADC reference point (11 mm2 / 0.83 mW).
+"""
+
+from repro.analysis.figures import fig3_series
+from repro.analysis.render import render_table
+from repro.pdk.egfet import default_technology
+
+
+def _render(series: dict) -> str:
+    rows = [
+        (
+            point["n_unary_digits"],
+            point["start_level"],
+            point["levels"][-1],
+            point["area_mm2"],
+            point["power_uw"],
+        )
+        for point in series["points"]
+    ]
+    table = render_table(
+        ["#UD", "first level", "last level", "area (mm2)", "power (uW)"], rows
+    )
+    footer = (
+        f"\nConventional 4-bit flash ADC: {series['conventional_area_mm2']:.2f} mm2, "
+        f"{series['conventional_power_uw'] / 1000.0:.3f} mW"
+        f"\n(paper: 11 mm2, 0.83 mW; bespoke area 0.2-0.6 mm2, "
+        f"4-UD power ~47-205 uW)"
+    )
+    return table + footer
+
+
+def test_fig3_bespoke_adc_scaling(benchmark, write_report):
+    """Generate the Fig. 3 sweep and validate its headline shapes."""
+    technology = default_technology()
+    series = benchmark(fig3_series, technology, 4)
+
+    write_report("fig3_bespoke_adc_scaling", _render(series))
+
+    # Shape checks mirroring the paper's observations.
+    four_ud = [p for p in series["points"] if p["n_unary_digits"] == 4]
+    powers = sorted(p["power_uw"] for p in four_ud)
+    assert powers[-1] / powers[0] > 2.5          # strong position dependence
+    areas = {p["n_unary_digits"]: p["area_mm2"] for p in series["points"]}
+    assert areas[15] > areas[1]                   # linear growth with #UD
+    assert series["conventional_area_mm2"] > 10 * areas[15]

@@ -1,0 +1,41 @@
+"""Fig. 4 -- gains of the parallel unary architecture + bespoke ADCs over [2].
+
+For every benchmark, the *same* ADC-unaware trained model as in Table I is
+re-implemented with the proposed architecture (two-level unary label logic,
+bespoke ADCs, no priority encoder) and the total area/power reduction factors
+over the baseline are reported.  Paper averages: 3.0x area, 6.6x power.
+"""
+
+from repro.analysis.figures import fig4_series
+from repro.analysis.render import render_table
+
+
+def _render(series: dict) -> str:
+    table = render_table(
+        ["dataset", "area reduction (x)", "power reduction (x)"],
+        [
+            (row["abbreviation"], row["area_reduction_x"], row["power_reduction_x"])
+            for row in series["rows"]
+        ],
+    )
+    footer = (
+        f"\nAverages: {series['average_area_reduction_x']:.1f}x area "
+        f"(paper: 3.0x), {series['average_power_reduction_x']:.1f}x power (paper: 6.6x)"
+    )
+    return table + footer
+
+
+def test_fig4_unary_architecture_gains(benchmark, suite_results, write_report):
+    """Regenerate the Fig. 4 reduction factors."""
+    series = benchmark.pedantic(
+        lambda: fig4_series(suite_results), rounds=1, iterations=1
+    )
+    write_report("fig4_unary_gains", _render(series))
+
+    assert len(series["rows"]) == len(suite_results)
+    # Every benchmark must win on both axes, by a sizeable margin on average.
+    for row in series["rows"]:
+        assert row["area_reduction_x"] > 1.0
+        assert row["power_reduction_x"] > 1.0
+    assert series["average_area_reduction_x"] > 2.0
+    assert series["average_power_reduction_x"] > 2.5

@@ -1,0 +1,57 @@
+"""Fig. 5 -- additional gains delivered by the ADC-aware training.
+
+For the accuracy-loss constraints 0 %, 1 % and 5 %, the best co-designed
+classifier from the depth x tau exploration is compared against the Fig. 4
+design (same architecture, ADC-unaware model).  The paper reports average
+reductions of 11 % area / 15 % power at 0 % loss growing to 45 % / 57 % at
+5 % loss; the key shape is that the gains grow with the allowed loss.
+"""
+
+from repro.analysis.figures import fig5_series
+from repro.analysis.render import render_table
+
+ACCURACY_LOSSES = (0.0, 0.01, 0.05)
+
+
+def _render(panels: dict) -> str:
+    sections = []
+    for loss, panel in panels.items():
+        table = render_table(
+            ["dataset", "area reduction (%)", "power reduction (%)"],
+            [
+                (row["abbreviation"], row["area_reduction_pct"], row["power_reduction_pct"])
+                for row in panel["rows"]
+            ],
+        )
+        sections.append(
+            f"--- accuracy loss <= {loss:.0%} ---\n{table}\n"
+            f"Averages: {panel['average_area_reduction_pct']:.1f}% area, "
+            f"{panel['average_power_reduction_pct']:.1f}% power"
+        )
+    sections.append(
+        "(paper averages: 11%/15% at 0% loss, ~45%/57% at 5% loss; gains grow "
+        "with the allowed accuracy loss)"
+    )
+    return "\n\n".join(sections)
+
+
+def test_fig5_adc_aware_training_gains(benchmark, suite_results, write_report):
+    """Regenerate the Fig. 5 panels."""
+    panels = benchmark.pedantic(
+        lambda: fig5_series(suite_results, ACCURACY_LOSSES), rounds=1, iterations=1
+    )
+    write_report("fig5_adc_aware_training", _render(panels))
+
+    assert set(panels) == set(ACCURACY_LOSSES)
+    averages_power = [
+        panels[loss]["average_power_reduction_pct"] for loss in ACCURACY_LOSSES
+    ]
+    averages_area = [
+        panels[loss]["average_area_reduction_pct"] for loss in ACCURACY_LOSSES
+    ]
+    # The ADC-aware training must help on average, and help more as the
+    # accuracy-loss budget grows (the central message of Fig. 5).
+    assert averages_power[0] > 0.0
+    assert averages_area[0] > 0.0
+    assert averages_power[-1] >= averages_power[0]
+    assert averages_area[-1] >= averages_area[0]

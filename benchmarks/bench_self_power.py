@@ -1,0 +1,59 @@
+"""Self-power feasibility (closing analysis of Section IV).
+
+For every benchmark, compares the complete on-sensor system power (classifier
+plus one 5 uW printed sensor per used input) against the 2 mW printed energy
+harvester budget, for the baseline [2] and for the co-designed classifier at
+<= 1 % accuracy loss.
+"""
+
+from repro.analysis.render import render_table
+from repro.core.power_budget import analyze_self_power
+
+
+def _rows(results):
+    rows = []
+    for result in results:
+        technology = result.metadata.get("technology")
+        baseline = analyze_self_power(result.baseline.hardware, technology)
+        chosen = result.selected.get(0.01)
+        codesign = (
+            analyze_self_power(chosen.hardware, technology) if chosen is not None else None
+        )
+        rows.append(
+            {
+                "dataset": result.dataset,
+                "baseline_total_mw": baseline.total_power_mw,
+                "baseline_self_powered": baseline.is_self_powered,
+                "codesign_total_mw": codesign.total_power_mw if codesign else float("nan"),
+                "codesign_self_powered": codesign.is_self_powered if codesign else False,
+                "sensor_power_mw": baseline.sensor_power_mw,
+                "headroom_mw": codesign.headroom_mw if codesign else float("nan"),
+            }
+        )
+    return rows
+
+
+def _render(rows) -> str:
+    table = render_table(
+        ["dataset", "sensors (mW)", "baseline total (mW)", "baseline self-powered",
+         "codesign total (mW)", "codesign self-powered", "headroom (mW)"],
+        [
+            (r["dataset"], r["sensor_power_mw"], r["baseline_total_mw"],
+             r["baseline_self_powered"], r["codesign_total_mw"],
+             r["codesign_self_powered"], r["headroom_mw"])
+            for r in rows
+        ],
+    )
+    return table + "\n(budget: 2 mW printed energy harvester; sensors: 5 uW per used input)"
+
+
+def test_self_power_feasibility(benchmark, suite_results, write_report):
+    """Check the self-powered-operation headline of the paper."""
+    rows = benchmark.pedantic(lambda: _rows(suite_results), rounds=1, iterations=1)
+    write_report("self_power_feasibility", _render(rows))
+
+    assert all(not row["baseline_self_powered"] for row in rows)
+    feasible = sum(row["codesign_self_powered"] for row in rows)
+    assert feasible >= len(rows) - 1
+    for row in rows:
+        assert row["sensor_power_mw"] < 0.15  # sensors are negligible (Section IV)

@@ -1,0 +1,48 @@
+"""Table I -- evaluation of the baseline bespoke decision trees [2].
+
+Regenerates, per benchmark dataset: accuracy, number of tree comparators,
+number of used inputs, ADC and total area, ADC and total power.  The paper's
+headline observations are asserted: ADCs dominate the power (74 % on
+average in the paper), account for a large share of the area (~40 %), and no
+baseline design fits the 2 mW printed-harvester budget.
+"""
+
+from repro.analysis.render import render_table
+from repro.analysis.tables import table1_rows, table1_summary
+
+
+def _render(rows, summary) -> str:
+    table = render_table(
+        ["dataset", "acc (%)", "#comp", "#inputs", "ADC area (mm2)",
+         "total area (mm2)", "ADC power (mW)", "total power (mW)", "self-powered"],
+        [
+            (r["dataset"], r["accuracy_pct"], r["n_comparators"], r["n_inputs"],
+             r["adc_area_mm2"], r["total_area_mm2"], r["adc_power_mw"],
+             r["total_power_mw"], r["self_powered"])
+            for r in rows
+        ],
+    )
+    footer = (
+        f"\nAverages: total area {summary['average_total_area_mm2']:.1f} mm2 "
+        f"(paper: 102 mm2), total power {summary['average_total_power_mw']:.2f} mW "
+        f"(paper: 8.5 mW), ADC share {summary['average_adc_area_fraction'] * 100:.0f}% of area "
+        f"(paper: 40%) / {summary['average_adc_power_fraction'] * 100:.0f}% of power (paper: 74%)"
+    )
+    return table + footer
+
+
+def test_table1_baseline_bespoke_trees(benchmark, suite_results, write_report):
+    """Regenerate Table I from the already-run co-design suite."""
+    rows = benchmark.pedantic(
+        lambda: table1_rows(suite_results), rounds=1, iterations=1
+    )
+    summary = table1_summary(rows)
+    write_report("table1_baseline", _render(rows, summary))
+
+    assert len(rows) == len(suite_results)
+    # Headline shapes of Table I.
+    assert summary["average_adc_power_fraction"] > 0.5
+    assert summary["average_adc_area_fraction"] > 0.2
+    assert all(not row["self_powered"] for row in rows), (
+        "no baseline design should fit the 2 mW harvester budget"
+    )

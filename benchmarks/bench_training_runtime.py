@@ -1,0 +1,62 @@
+"""Runtime benchmarks of the training and exploration machinery.
+
+The paper notes that the whole brute-force exploration takes about 6 minutes
+per dataset on a Xeon server because the trainings are independent.  These
+benchmarks time the Python implementation's building blocks with
+pytest-benchmark statistics (multiple rounds): one ADC-aware training, one
+conventional training, and one unary translation + hardware costing.
+"""
+
+import pytest
+
+from repro.core.adc_aware_training import ADCAwareTrainer
+from repro.core.exploration import proposed_hardware_report
+from repro.datasets.registry import load_dataset
+from repro.mltrees.cart import CARTTrainer
+from repro.mltrees.evaluation import train_test_split
+from repro.mltrees.quantize import quantize_dataset
+from repro.pdk.egfet import default_technology
+
+DATASET = "cardio"
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    dataset = load_dataset(DATASET, seed=0)
+    X_train, _, y_train, _ = train_test_split(dataset.X, dataset.y, 0.3, seed=0)
+    return quantize_dataset(X_train), y_train, dataset.n_classes
+
+
+@pytest.fixture(scope="module")
+def trained_tree(training_data):
+    X_levels, y, n_classes = training_data
+    return ADCAwareTrainer(max_depth=6, gini_threshold=0.01, seed=0).fit(
+        X_levels, y, n_classes
+    )
+
+
+def test_runtime_cart_training(benchmark, training_data):
+    """Conventional Gini training on the cardio benchmark (depth 6)."""
+    X_levels, y, n_classes = training_data
+    tree = benchmark(
+        lambda: CARTTrainer(max_depth=6, seed=0).fit(X_levels, y, n_classes)
+    )
+    assert tree.n_decision_nodes > 0
+
+
+def test_runtime_adc_aware_training(benchmark, training_data):
+    """ADC-aware training (Algorithm 1) on the cardio benchmark (depth 6)."""
+    X_levels, y, n_classes = training_data
+    tree = benchmark(
+        lambda: ADCAwareTrainer(max_depth=6, gini_threshold=0.01, seed=0).fit(
+            X_levels, y, n_classes
+        )
+    )
+    assert tree.n_decision_nodes > 0
+
+
+def test_runtime_hardware_generation(benchmark, trained_tree):
+    """Unary translation, bespoke ADC generation and costing of one tree."""
+    technology = default_technology()
+    report = benchmark(lambda: proposed_hardware_report(trained_tree, technology))
+    assert report.total_power_uw > 0

@@ -1,0 +1,71 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+computation (running the co-design framework over the eight benchmarks) is
+done once per pytest session through ``repro.analysis.experiments`` (which
+caches per configuration) and shared by all benchmark files; the
+``benchmark`` fixture then measures the run and each file writes the rendered
+rows both to stdout and to ``benchmarks/results/<name>.txt``.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_FAST=1``
+    Restrict the suite to the four small benchmarks (quick smoke runs).
+``REPRO_BENCH_SEED=<int>``
+    Change the global seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import run_benchmark_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def _seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Global seed of the benchmark run."""
+    return _seed()
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Co-design results over the benchmark suite (no approximate baseline)."""
+    return run_benchmark_suite(
+        seed=_seed(), include_approximate_baseline=False, fast=_fast_mode()
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_results_with_approx():
+    """Co-design results including the approximate baseline [7] (Table II)."""
+    return run_benchmark_suite(
+        seed=_seed(), include_approximate_baseline=True, fast=_fast_mode()
+    )
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Write a rendered report to benchmarks/results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+        return path
+
+    return _write

@@ -1,0 +1,87 @@
+"""Technology sensitivity study: what if the printed process changes?
+
+The EGFET cost model shipped with the library is calibrated against the
+paper's published numbers, but every constant lives in
+:class:`repro.pdk.EGFETTechnology`, so a user can re-run the whole co-design
+under a different process assumption.  This example studies two questions on
+the seeds benchmark:
+
+1. how do the co-design gains change if the comparator power scales more or
+   less steeply with the reference level (the property the ADC-aware training
+   exploits)?
+2. how large can the classifier get before a weaker (1 mW) or stronger (5 mW)
+   printed harvester stops covering it?
+
+Run with::
+
+    python examples/custom_technology_study.py
+"""
+
+from dataclasses import replace
+
+from repro import CoDesignFramework, default_technology, load_dataset
+from repro.analysis.render import render_table
+from repro.pdk.comparator import AnalogComparatorModel
+from repro.pdk.harvester import PrintedEnergyHarvester
+
+
+def run_with(technology, dataset):
+    framework = CoDesignFramework(
+        technology=technology, seed=0, include_approximate_baseline=False
+    )
+    return framework.run(dataset)
+
+
+def main() -> None:
+    dataset = load_dataset("seeds", seed=0)
+    nominal = default_technology()
+
+    # ------------------------------------------------------------------ #
+    # 1. comparator power slope sweep
+    # ------------------------------------------------------------------ #
+    slope_rows = []
+    for label, slope_scale in [("flat (0.25x)", 0.25), ("nominal (1x)", 1.0), ("steep (2x)", 2.0)]:
+        comparator = AnalogComparatorModel(
+            area_mm2=nominal.comparator.area_mm2,
+            power_base_uw=nominal.comparator.power_base_uw,
+            power_per_level_uw=nominal.comparator.power_per_level_uw * slope_scale,
+        )
+        technology = replace(nominal, comparator=comparator)
+        result = run_with(technology, dataset)
+        chosen = result.selected[0.01]
+        table2 = result.table2_reduction(0.01)
+        slope_rows.append(
+            (label, chosen.hardware.adc_power_uw, chosen.hardware.total_power_mw,
+             table2.power_factor)
+        )
+    print("comparator power-vs-level slope sensitivity (seeds, <=1% loss):")
+    print(render_table(
+        ["power slope", "ADC power (uW)", "total power (mW)", "power reduction vs [2] (x)"],
+        slope_rows,
+    ))
+
+    # ------------------------------------------------------------------ #
+    # 2. harvester budget sweep
+    # ------------------------------------------------------------------ #
+    harvester_rows = []
+    for budget in (1.0, 2.0, 5.0):
+        technology = replace(
+            nominal, harvester=PrintedEnergyHarvester(budget_mw=budget)
+        )
+        result = run_with(technology, dataset)
+        baseline_ok = result.baseline.hardware.total_power_mw <= budget
+        analysis = result.self_power(0.01)
+        harvester_rows.append(
+            (f"{budget:.0f} mW", baseline_ok, analysis.is_self_powered,
+             analysis.utilization * 100.0)
+        )
+    print("\nharvester budget sensitivity (seeds, <=1% loss):")
+    print(render_table(
+        ["harvester budget", "baseline self-powered", "co-design self-powered",
+         "co-design utilization (%)"],
+        harvester_rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Design-space exploration: accuracy vs hardware across depth and tau.
+
+Reproduces, for a single benchmark (cardio), the exploration of Section IV:
+every (depth, tau) combination is trained with the ADC-aware trainer, costed
+with the bespoke-ADC unary architecture, and the accuracy/power trade-off is
+reported -- including the designs that would be selected under the paper's
+0 % / 1 % / 5 % accuracy-loss constraints and the accuracy-power Pareto
+front.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import DesignSpaceExplorer, load_dataset, select_best_design
+from repro.analysis.render import render_table
+from repro.mltrees.cart import fit_baseline_tree
+from repro.mltrees.evaluation import train_test_split
+from repro.mltrees.quantize import quantize_dataset
+
+
+def pareto_front(points):
+    """Points not dominated in (higher accuracy, lower power)."""
+    front = []
+    for point in points:
+        dominated = any(
+            other.accuracy >= point.accuracy
+            and other.hardware.total_power_uw < point.hardware.total_power_uw
+            for other in points
+        )
+        if not dominated:
+            front.append(point)
+    return sorted(front, key=lambda p: p.hardware.total_power_uw)
+
+
+def main() -> None:
+    dataset = load_dataset("cardio", seed=0)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=0
+    )
+    X_train_levels = quantize_dataset(X_train)
+    X_test_levels = quantize_dataset(X_test)
+
+    baseline = fit_baseline_tree(
+        X_train_levels, y_train, X_test_levels, y_test, dataset.n_classes
+    )
+    print(f"baseline (ADC-unaware) accuracy: {baseline.test_accuracy * 100:.1f}% "
+          f"at depth {baseline.depth}")
+
+    explorer = DesignSpaceExplorer(seed=0)
+    points = explorer.explore(
+        X_train_levels, y_train, X_test_levels, y_test,
+        n_classes=dataset.n_classes, dataset_name=dataset.name,
+    )
+    print(f"explored {len(points)} (depth, tau) combinations\n")
+
+    front = pareto_front(points)
+    print("accuracy-power Pareto front:")
+    print(render_table(
+        ["depth", "tau", "accuracy (%)", "ADC comparators", "area (mm2)", "power (mW)"],
+        [
+            (p.depth, p.tau, p.accuracy * 100.0, p.hardware.n_adc_comparators,
+             p.hardware.total_area_mm2, p.hardware.total_power_uw / 1000.0)
+            for p in front
+        ],
+    ))
+
+    print("\nselected designs per accuracy-loss constraint:")
+    rows = []
+    for loss in (0.0, 0.01, 0.05):
+        chosen = select_best_design(points, baseline.test_accuracy, loss)
+        if chosen is None:
+            rows.append((f"<= {loss:.0%}", "-", "-", "-", "-", "-"))
+            continue
+        rows.append((
+            f"<= {loss:.0%}", chosen.depth, chosen.tau, chosen.accuracy * 100.0,
+            chosen.hardware.total_area_mm2, chosen.hardware.total_power_uw / 1000.0,
+        ))
+    print(render_table(
+        ["accuracy loss", "depth", "tau", "accuracy (%)", "area (mm2)", "power (mW)"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs keep working on environments whose setuptools/pip
+lack PEP 660 support (e.g. offline machines without the ``wheel`` package):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

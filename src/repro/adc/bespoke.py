@@ -1,0 +1,121 @@
+"""Bespoke flash ADC model (Fig. 1b of the paper).
+
+A bespoke ADC keeps the full resistor ladder but retains only the comparators
+whose reference levels are actually consumed by the decision tree, and has no
+priority encoder at all: its outputs *are* the required unary digits.  Area is
+therefore linear in the number of retained comparators, while power also
+depends on *which* levels are retained (higher taps burn more power), which is
+exactly the behaviour shown in Fig. 3 and exploited by the ADC-aware training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adc.thermometer import quantize_to_level
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+@dataclass(frozen=True)
+class BespokeADC:
+    """Bespoke flash ADC retaining an arbitrary subset of reference levels.
+
+    Attributes
+    ----------
+    retained_levels:
+        1-based reference-level indices of the retained comparators, e.g.
+        ``(1, 2, 4, 7)`` for the 4-UD example of Fig. 1b.
+    resolution_bits:
+        Resolution of the underlying ladder (default 4, as in the paper).
+    technology:
+        EGFET technology providing the cost constants.
+    feature_name:
+        Optional label of the sensor input this ADC digitizes.
+    """
+
+    retained_levels: tuple[int, ...]
+    resolution_bits: int = 4
+    technology: EGFETTechnology = field(default_factory=default_technology)
+    feature_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("ADC resolution must be at least 1 bit")
+        levels = tuple(sorted(set(int(k) for k in self.retained_levels)))
+        max_level = 2 ** self.resolution_bits - 1
+        for level in levels:
+            if not 1 <= level <= max_level:
+                raise ValueError(
+                    f"retained level {level} outside the valid range "
+                    f"[1, {max_level}] of a {self.resolution_bits}-bit ADC"
+                )
+        if not levels:
+            raise ValueError("a bespoke ADC must retain at least one comparator")
+        object.__setattr__(self, "retained_levels", levels)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def n_unary_digits(self) -> int:
+        """Number of output unary digits (retained comparators)."""
+        return len(self.retained_levels)
+
+    @property
+    def label(self) -> str:
+        """Human-readable designator, e.g. ``"4-UD"`` for four outputs."""
+        return f"{self.n_unary_digits}-UD"
+
+    # ------------------------------------------------------------------ #
+    # cost
+    # ------------------------------------------------------------------ #
+    @property
+    def ladder_area_mm2(self) -> float:
+        """Area of the (always fully retained) resistor ladder."""
+        return self.technology.ladder_for(self.resolution_bits).area_mm2
+
+    @property
+    def ladder_power_uw(self) -> float:
+        """Static power of the resistor ladder."""
+        return self.technology.ladder_for(self.resolution_bits).power_uw
+
+    @property
+    def comparator_area_mm2(self) -> float:
+        """Area of the retained comparator bank."""
+        return self.technology.comparator.bank_area_mm2(self.n_unary_digits)
+
+    @property
+    def comparator_power_uw(self) -> float:
+        """Power of the retained comparator bank (depends on the levels)."""
+        return self.technology.comparator.bank_power_uw(list(self.retained_levels))
+
+    @property
+    def area_mm2(self) -> float:
+        """Total bespoke ADC area."""
+        return self.ladder_area_mm2 + self.comparator_area_mm2
+
+    @property
+    def power_uw(self) -> float:
+        """Total bespoke ADC power in uW."""
+        return self.ladder_power_uw + self.comparator_power_uw
+
+    @property
+    def power_mw(self) -> float:
+        """Total bespoke ADC power in mW."""
+        return self.power_uw / 1000.0
+
+    # ------------------------------------------------------------------ #
+    # behaviour
+    # ------------------------------------------------------------------ #
+    def convert(self, value: float) -> dict[int, int]:
+        """Digitize a normalized sample into its retained unary digits.
+
+        Returns a mapping ``level -> digit`` where ``digit`` is 1 when the
+        sample is at least ``level / 2**resolution_bits`` of full scale.
+        """
+        level = quantize_to_level(value, self.resolution_bits)
+        return {k: (1 if level >= k else 0) for k in self.retained_levels}
+
+    def convert_to_level(self, value: float) -> int:
+        """Quantized level of the sample (useful for verification)."""
+        return quantize_to_level(value, self.resolution_bits)

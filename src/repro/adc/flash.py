@@ -1,0 +1,141 @@
+"""Conventional flash ADC model (Fig. 1a of the paper).
+
+A conventional N-bit flash ADC consists of a resistor ladder, ``2**N - 1``
+comparators and a priority encoder.  The model exposes the same conversion
+behaviour and an area/power breakdown, calibrated so that the 4-bit instance
+matches the 11 mm2 / 0.83 mW quoted in Section III-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adc.encoder import PriorityEncoder
+from repro.adc.thermometer import level_to_binary, quantize_to_level, to_thermometer
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+@dataclass(frozen=True)
+class ADCConversion:
+    """Result of digitizing one analog sample.
+
+    Attributes
+    ----------
+    level:
+        Number of comparators that fired (the digital code value).
+    thermometer:
+        Full thermometer word, digit ``k`` at index ``k - 1``.
+    binary:
+        Binary output word, MSB first (empty for encoder-less ADCs).
+    """
+
+    level: int
+    thermometer: tuple[int, ...]
+    binary: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FlashADC:
+    """Behavioral conventional flash ADC.
+
+    Attributes
+    ----------
+    resolution_bits:
+        ADC resolution N.
+    technology:
+        EGFET technology providing all cost constants.
+    include_encoder:
+        When False the ADC exposes the raw thermometer code (this is the
+        "encoder removed" intermediate step of Section III-B, before
+        comparators are also pruned).
+    """
+
+    resolution_bits: int = 4
+    technology: EGFETTechnology = field(default_factory=default_technology)
+    include_encoder: bool = True
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("ADC resolution must be at least 1 bit")
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def n_comparators(self) -> int:
+        """Number of comparators in the bank (``2**N - 1``)."""
+        return 2 ** self.resolution_bits - 1
+
+    @property
+    def comparator_levels(self) -> tuple[int, ...]:
+        """Reference-level indices of every comparator (1-based)."""
+        return tuple(range(1, self.n_comparators + 1))
+
+    @property
+    def encoder(self) -> PriorityEncoder | None:
+        """The priority encoder instance, or ``None`` when omitted."""
+        if not self.include_encoder:
+            return None
+        return PriorityEncoder(self.resolution_bits, self.technology)
+
+    # ------------------------------------------------------------------ #
+    # cost
+    # ------------------------------------------------------------------ #
+    @property
+    def ladder_area_mm2(self) -> float:
+        """Area of the reference resistor ladder."""
+        return self.technology.ladder_for(self.resolution_bits).area_mm2
+
+    @property
+    def ladder_power_uw(self) -> float:
+        """Static power of the reference resistor ladder."""
+        return self.technology.ladder_for(self.resolution_bits).power_uw
+
+    @property
+    def comparator_area_mm2(self) -> float:
+        """Area of the comparator bank."""
+        return self.technology.comparator.bank_area_mm2(self.n_comparators)
+
+    @property
+    def comparator_power_uw(self) -> float:
+        """Power of the comparator bank."""
+        return self.technology.comparator.bank_power_uw(list(self.comparator_levels))
+
+    @property
+    def encoder_area_mm2(self) -> float:
+        """Area of the priority encoder (0 when omitted)."""
+        encoder = self.encoder
+        return encoder.area_mm2 if encoder is not None else 0.0
+
+    @property
+    def encoder_power_uw(self) -> float:
+        """Power of the priority encoder (0 when omitted)."""
+        encoder = self.encoder
+        return encoder.power_uw if encoder is not None else 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total ADC area."""
+        return self.ladder_area_mm2 + self.comparator_area_mm2 + self.encoder_area_mm2
+
+    @property
+    def power_uw(self) -> float:
+        """Total ADC power in uW."""
+        return self.ladder_power_uw + self.comparator_power_uw + self.encoder_power_uw
+
+    @property
+    def power_mw(self) -> float:
+        """Total ADC power in mW."""
+        return self.power_uw / 1000.0
+
+    # ------------------------------------------------------------------ #
+    # behaviour
+    # ------------------------------------------------------------------ #
+    def convert(self, value: float) -> ADCConversion:
+        """Digitize a normalized sample in ``[0, 1]``."""
+        level = quantize_to_level(value, self.resolution_bits)
+        thermometer = to_thermometer(level, self.n_comparators)
+        binary: tuple[int, ...] = ()
+        if self.include_encoder:
+            binary = level_to_binary(level, self.resolution_bits)
+        return ADCConversion(level=level, thermometer=thermometer, binary=binary)

@@ -1,0 +1,216 @@
+"""Multi-input analog front ends.
+
+A classifier with ``M`` used input features needs ``M`` ADC channels.  Two
+arrangements are modeled:
+
+* :class:`ConventionalFrontEnd` -- the baseline of [2]: one full comparator
+  bank + ladder per input and a single shared priority encoder producing the
+  binary codes consumed by the digital comparator tree.  This is the
+  arrangement that reproduces the ADC area/power columns of Table I.
+* :class:`BespokeFrontEnd` -- the proposed front end: one bespoke ADC per
+  input, retaining only the comparators whose unary digits the decision tree
+  consumes, and no encoder at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.adc.bespoke import BespokeADC
+from repro.adc.encoder import PriorityEncoder
+from repro.adc.flash import FlashADC
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+@dataclass(frozen=True)
+class FrontEndReport:
+    """Aggregate cost of an analog front end.
+
+    Attributes
+    ----------
+    area_mm2 / power_uw:
+        Totals over all channels (and the shared encoder, if any).
+    n_channels:
+        Number of ADC channels (one per used input feature).
+    n_comparators:
+        Total number of analog comparators across all channels.
+    """
+
+    area_mm2: float
+    power_uw: float
+    n_channels: int
+    n_comparators: int
+
+    @property
+    def power_mw(self) -> float:
+        """Total front-end power in mW."""
+        return self.power_uw / 1000.0
+
+
+class ConventionalFrontEnd:
+    """Baseline analog front end: per-input flash banks + shared priority encoder."""
+
+    def __init__(
+        self,
+        feature_indices: Sequence[int],
+        resolution_bits: int = 4,
+        technology: EGFETTechnology | None = None,
+        per_input_resolution: Mapping[int, int] | None = None,
+    ):
+        """Create the front end.
+
+        Parameters
+        ----------
+        feature_indices:
+            Indices of the input features that actually need digitizing
+            (features unused by the tree need no ADC).
+        resolution_bits:
+            Default ADC resolution for every channel.
+        technology:
+            EGFET technology (defaults to the calibrated behavioral PDK).
+        per_input_resolution:
+            Optional per-feature resolution override, used by the
+            precision-scaled baseline [7].
+        """
+        self.technology = technology if technology is not None else default_technology()
+        self.feature_indices = tuple(sorted(set(int(i) for i in feature_indices)))
+        if resolution_bits < 1:
+            raise ValueError("ADC resolution must be at least 1 bit")
+        overrides = dict(per_input_resolution or {})
+        self.channel_resolution: dict[int, int] = {}
+        for feature in self.feature_indices:
+            bits = int(overrides.get(feature, resolution_bits))
+            if bits < 1:
+                raise ValueError(
+                    f"feature {feature}: ADC resolution must be at least 1 bit"
+                )
+            self.channel_resolution[feature] = bits
+        self.channels: dict[int, FlashADC] = {
+            feature: FlashADC(
+                resolution_bits=bits,
+                technology=self.technology,
+                include_encoder=False,
+            )
+            for feature, bits in self.channel_resolution.items()
+        }
+        max_bits = max(self.channel_resolution.values(), default=resolution_bits)
+        self.shared_encoder = (
+            PriorityEncoder(max_bits, self.technology) if self.channels else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # cost
+    # ------------------------------------------------------------------ #
+    @property
+    def n_channels(self) -> int:
+        """Number of ADC channels."""
+        return len(self.channels)
+
+    @property
+    def n_comparators(self) -> int:
+        """Total number of analog comparators in the front end."""
+        return sum(adc.n_comparators for adc in self.channels.values())
+
+    @property
+    def encoder_area_mm2(self) -> float:
+        """Area of the shared priority encoder."""
+        return self.shared_encoder.area_mm2 if self.shared_encoder else 0.0
+
+    @property
+    def encoder_power_uw(self) -> float:
+        """Power of the shared priority encoder."""
+        return self.shared_encoder.power_uw if self.shared_encoder else 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total front-end area."""
+        return sum(adc.area_mm2 for adc in self.channels.values()) + self.encoder_area_mm2
+
+    @property
+    def power_uw(self) -> float:
+        """Total front-end power in uW."""
+        return sum(adc.power_uw for adc in self.channels.values()) + self.encoder_power_uw
+
+    @property
+    def power_mw(self) -> float:
+        """Total front-end power in mW."""
+        return self.power_uw / 1000.0
+
+    def report(self) -> FrontEndReport:
+        """Aggregate cost report."""
+        return FrontEndReport(
+            area_mm2=self.area_mm2,
+            power_uw=self.power_uw,
+            n_channels=self.n_channels,
+            n_comparators=self.n_comparators,
+        )
+
+    # ------------------------------------------------------------------ #
+    # behaviour
+    # ------------------------------------------------------------------ #
+    def convert(self, sample: Sequence[float]) -> dict[int, int]:
+        """Digitize a full (normalized) sample into per-feature levels."""
+        return {
+            feature: self.channels[feature].convert(sample[feature]).level
+            for feature in self.feature_indices
+        }
+
+
+class BespokeFrontEnd:
+    """Proposed analog front end: one bespoke ADC per used input, no encoder."""
+
+    def __init__(self, adcs: Mapping[int, BespokeADC]):
+        """Create the front end from a mapping ``feature index -> BespokeADC``."""
+        if not adcs:
+            raise ValueError("a bespoke front end needs at least one ADC channel")
+        self.adcs: dict[int, BespokeADC] = dict(sorted(adcs.items()))
+
+    @property
+    def feature_indices(self) -> tuple[int, ...]:
+        """Indices of the digitized input features."""
+        return tuple(self.adcs)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of ADC channels."""
+        return len(self.adcs)
+
+    @property
+    def n_comparators(self) -> int:
+        """Total number of retained analog comparators."""
+        return sum(adc.n_unary_digits for adc in self.adcs.values())
+
+    @property
+    def area_mm2(self) -> float:
+        """Total front-end area."""
+        return sum(adc.area_mm2 for adc in self.adcs.values())
+
+    @property
+    def power_uw(self) -> float:
+        """Total front-end power in uW."""
+        return sum(adc.power_uw for adc in self.adcs.values())
+
+    @property
+    def power_mw(self) -> float:
+        """Total front-end power in mW."""
+        return self.power_uw / 1000.0
+
+    def report(self) -> FrontEndReport:
+        """Aggregate cost report."""
+        return FrontEndReport(
+            area_mm2=self.area_mm2,
+            power_uw=self.power_uw,
+            n_channels=self.n_channels,
+            n_comparators=self.n_comparators,
+        )
+
+    def convert(self, sample: Sequence[float]) -> dict[int, dict[int, int]]:
+        """Digitize a normalized sample into per-feature unary digits.
+
+        Returns ``{feature: {level: digit}}`` covering exactly the unary
+        digits the downstream decision tree consumes.
+        """
+        return {
+            feature: adc.convert(sample[feature]) for feature, adc in self.adcs.items()
+        }

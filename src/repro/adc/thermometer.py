@@ -1,0 +1,127 @@
+"""Thermometer (parallel unary) coding utilities.
+
+Conventions used throughout the repository (they mirror Eq. (1)/(2) of the
+paper):
+
+* Features are normalized to ``[0, 1]`` and digitized by an N-bit flash ADC
+  whose comparator ``k`` (1-based, ``k = 1 .. 2**N - 1``) fires when the
+  input is **at least** ``k / 2**N`` of full scale.
+* The *level* of a sample is the number of comparators that fire, i.e. an
+  integer in ``[0, 2**N - 1]``.
+* The *unary digit* ``I[k]`` is comparator ``k``'s output, so
+  ``I >= k/2**N  <=>  I[k] == 1`` -- exactly the reduction the parallel unary
+  decision trees rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def quantize_to_level(value: float, resolution_bits: int) -> int:
+    """Digitize a normalized value into its flash-ADC level.
+
+    Parameters
+    ----------
+    value:
+        Normalized analog sample.  Values are clipped to ``[0, 1]``, which is
+        what a real ADC does with out-of-range inputs.
+    resolution_bits:
+        ADC resolution N; the result lies in ``[0, 2**N - 1]``.
+    """
+    if resolution_bits < 1:
+        raise ValueError("resolution must be at least 1 bit")
+    n_levels = 2 ** resolution_bits
+    clipped = min(max(float(value), 0.0), 1.0)
+    level = int(np.floor(clipped * n_levels + 1e-12))
+    return min(level, n_levels - 1)
+
+
+def quantize_array_to_levels(values: np.ndarray, resolution_bits: int) -> np.ndarray:
+    """Vectorized version of :func:`quantize_to_level` for feature matrices."""
+    if resolution_bits < 1:
+        raise ValueError("resolution must be at least 1 bit")
+    n_levels = 2 ** resolution_bits
+    clipped = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    levels = np.floor(clipped * n_levels + 1e-12).astype(np.int64)
+    return np.minimum(levels, n_levels - 1)
+
+
+def to_thermometer(level: int, n_taps: int) -> tuple[int, ...]:
+    """Expand ``level`` into a thermometer code of ``n_taps`` digits.
+
+    Digit ``k`` (1-based; index ``k - 1`` of the returned tuple) is 1 when
+    ``level >= k``.
+    """
+    if n_taps < 1:
+        raise ValueError("a thermometer code needs at least one digit")
+    if not 0 <= level <= n_taps:
+        raise ValueError(f"level {level} outside [0, {n_taps}]")
+    return tuple(1 if level >= k else 0 for k in range(1, n_taps + 1))
+
+
+def from_thermometer(code: Sequence[int]) -> int:
+    """Recover the level from a thermometer code.
+
+    Raises ``ValueError`` when the code is not a valid (monotone) thermometer
+    word -- a '1' must never appear above a '0'.
+    """
+    if not is_valid_thermometer(code):
+        raise ValueError(f"{list(code)!r} is not a valid thermometer code")
+    return int(sum(1 for bit in code if bit))
+
+
+def is_valid_thermometer(code: Sequence[int]) -> bool:
+    """True when ``code`` is monotone non-increasing (all 1s then all 0s)."""
+    seen_zero = False
+    for bit in code:
+        if bit not in (0, 1, True, False):
+            return False
+        if bit:
+            if seen_zero:
+                return False
+        else:
+            seen_zero = True
+    return True
+
+
+def unary_digit(level: int, k: int) -> int:
+    """Value of unary digit ``k`` (1-based) for a sample at ``level``."""
+    if k < 1:
+        raise ValueError("unary digit indices are 1-based")
+    return 1 if level >= k else 0
+
+
+def level_to_binary(level: int, resolution_bits: int) -> tuple[int, ...]:
+    """Binary representation of ``level``, MSB first."""
+    if resolution_bits < 1:
+        raise ValueError("resolution must be at least 1 bit")
+    if not 0 <= level < 2 ** resolution_bits:
+        raise ValueError(
+            f"level {level} does not fit in {resolution_bits} unsigned bits"
+        )
+    return tuple((level >> shift) & 1 for shift in range(resolution_bits - 1, -1, -1))
+
+
+def binary_to_level(bits: Sequence[int]) -> int:
+    """Inverse of :func:`level_to_binary` (MSB first)."""
+    level = 0
+    for bit in bits:
+        level = (level << 1) | (1 if bit else 0)
+    return level
+
+
+def threshold_to_digit(threshold: float, resolution_bits: int) -> int:
+    """Map a normalized threshold to the unary digit implementing ``x >= threshold``.
+
+    The trained thresholds of the quantized decision trees always lie on the
+    ADC grid ``k / 2**N``; the digit index is simply ``round(threshold * 2**N)``
+    clamped to the valid comparator range ``[1, 2**N - 1]``.
+    """
+    if resolution_bits < 1:
+        raise ValueError("resolution must be at least 1 bit")
+    n_levels = 2 ** resolution_bits
+    digit = int(round(float(threshold) * n_levels))
+    return min(max(digit, 1), n_levels - 1)

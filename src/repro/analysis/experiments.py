@@ -1,0 +1,76 @@
+"""Benchmark-suite orchestration.
+
+:func:`run_benchmark_suite` runs the full co-design flow over (a subset of)
+the eight benchmarks and caches the results per configuration, so that the
+several benchmark files regenerating different tables/figures from the same
+underlying experiment do not recompute it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.codesign import CoDesignFramework, CoDesignResult
+from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS
+from repro.datasets.registry import dataset_names, load_dataset
+
+#: Smaller benchmarks used when a quick run is requested.
+FAST_DATASETS: tuple[str, ...] = ("balance_scale", "vertebral_3c", "vertebral_2c", "seeds")
+
+
+@lru_cache(maxsize=8)
+def _run_suite_cached(
+    datasets: tuple[str, ...],
+    seed: int,
+    include_approximate_baseline: bool,
+    depths: tuple[int, ...],
+    taus: tuple[float, ...],
+) -> tuple[CoDesignResult, ...]:
+    framework = CoDesignFramework(
+        depths=depths,
+        taus=taus,
+        seed=seed,
+        include_approximate_baseline=include_approximate_baseline,
+    )
+    results = []
+    for name in datasets:
+        dataset = load_dataset(name, seed=seed)
+        results.append(framework.run(dataset))
+    return tuple(results)
+
+
+def run_benchmark_suite(
+    datasets: tuple[str, ...] | None = None,
+    seed: int = 0,
+    include_approximate_baseline: bool = True,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    taus: tuple[float, ...] = DEFAULT_TAUS,
+    fast: bool = False,
+) -> list[CoDesignResult]:
+    """Run the co-design flow over the benchmark suite (cached per configuration).
+
+    Parameters
+    ----------
+    datasets:
+        Benchmark names to run (defaults to all eight in the paper's order).
+    seed:
+        Seed controlling the dataset synthesis, the split and every trainer.
+    include_approximate_baseline:
+        Whether to also fit the precision-scaled baseline [7] (needed for
+        Table II, not for Table I / Figs. 4-5).
+    depths, taus:
+        Exploration grid (defaults to the paper's grid).
+    fast:
+        When True and ``datasets`` is not given, restrict the run to the four
+        small benchmarks (useful for smoke tests).
+    """
+    if datasets is None:
+        datasets = FAST_DATASETS if fast else tuple(dataset_names())
+    results = _run_suite_cached(
+        tuple(datasets),
+        seed,
+        include_approximate_baseline,
+        tuple(depths),
+        tuple(taus),
+    )
+    return list(results)

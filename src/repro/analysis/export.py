@@ -1,0 +1,104 @@
+"""Export of experiment results to CSV and JSON.
+
+The benchmark harness renders human-readable tables; this module provides the
+machine-readable counterparts so results can be post-processed (plotted,
+diffed across technology corners, tracked in CI).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.core.codesign import CoDesignResult
+from repro.core.metrics import ClassifierDesign, HardwareReport
+
+
+def rows_to_csv(rows: Sequence[Mapping], path: str | Path) -> Path:
+    """Write a list of homogeneous dict rows (e.g. table1_rows output) to CSV."""
+    if not rows:
+        raise ValueError("cannot export an empty row list")
+    path = Path(path)
+    fieldnames = list(rows[0].keys())
+    for index, row in enumerate(rows):
+        if list(row.keys()) != fieldnames:
+            raise ValueError(f"row {index} has different columns than row 0")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return path
+
+
+def hardware_to_dict(report: HardwareReport) -> dict:
+    """JSON-friendly representation of a hardware report."""
+    return {
+        "name": report.name,
+        "adc_area_mm2": report.adc_area_mm2,
+        "adc_power_uw": report.adc_power_uw,
+        "digital_area_mm2": report.digital_area_mm2,
+        "digital_power_uw": report.digital_power_uw,
+        "total_area_mm2": report.total_area_mm2,
+        "total_power_mw": report.total_power_mw,
+        "n_inputs": report.n_inputs,
+        "n_tree_comparators": report.n_tree_comparators,
+        "n_adc_comparators": report.n_adc_comparators,
+    }
+
+
+def design_to_dict(design: ClassifierDesign) -> dict:
+    """JSON-friendly representation of a classifier design."""
+    return {
+        "name": design.name,
+        "dataset": design.dataset,
+        "accuracy": design.accuracy,
+        "depth": design.depth,
+        "tau": design.tau,
+        "hardware": hardware_to_dict(design.hardware),
+    }
+
+
+def result_to_dict(result: CoDesignResult, include_exploration: bool = False) -> dict:
+    """JSON-friendly representation of a full co-design result."""
+    payload = {
+        "dataset": result.dataset,
+        "abbreviation": result.metadata.get("abbreviation"),
+        "baseline": design_to_dict(result.baseline),
+        "unary_bespoke_adc": design_to_dict(result.unary_bespoke_adc),
+        "selected": {
+            f"{loss:g}": design_to_dict(design)
+            for loss, design in sorted(result.selected.items())
+        },
+        "approximate_baseline": (
+            design_to_dict(result.approximate_baseline)
+            if result.approximate_baseline is not None
+            else None
+        ),
+    }
+    if include_exploration:
+        payload["exploration"] = [
+            {
+                "depth": point.depth,
+                "tau": point.tau,
+                "accuracy": point.accuracy,
+                "total_area_mm2": point.hardware.total_area_mm2,
+                "total_power_mw": point.hardware.total_power_mw,
+            }
+            for point in result.exploration
+        ]
+    return payload
+
+
+def results_to_json(
+    results: Sequence[CoDesignResult],
+    path: str | Path,
+    include_exploration: bool = False,
+) -> Path:
+    """Write a list of co-design results to a JSON file."""
+    path = Path(path)
+    payload = [result_to_dict(result, include_exploration) for result in results]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,0 +1,102 @@
+"""Rows of the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.core.codesign import CoDesignResult
+from repro.core.power_budget import analyze_self_power
+
+
+def table1_rows(results: list[CoDesignResult]) -> list[dict]:
+    """Evaluation of the baseline bespoke decision trees (Table I).
+
+    One row per benchmark: accuracy, number of tree comparators, number of
+    used inputs, ADC/total area and ADC/total power of the baseline [2].
+    """
+    rows = []
+    for result in results:
+        hardware = result.baseline.hardware
+        rows.append(
+            {
+                "dataset": result.dataset,
+                "accuracy_pct": result.baseline.accuracy * 100.0,
+                "n_comparators": hardware.n_tree_comparators,
+                "n_inputs": hardware.n_inputs,
+                "adc_area_mm2": hardware.adc_area_mm2,
+                "total_area_mm2": hardware.total_area_mm2,
+                "adc_power_mw": hardware.adc_power_mw,
+                "total_power_mw": hardware.total_power_mw,
+                "adc_area_fraction": hardware.adc_area_fraction,
+                "adc_power_fraction": hardware.adc_power_fraction,
+                "self_powered": hardware.total_power_mw <= 2.0,
+            }
+        )
+    return rows
+
+
+def table1_summary(rows: list[dict]) -> dict:
+    """Averages quoted in the Table I discussion."""
+    if not rows:
+        return {
+            "average_total_area_mm2": 0.0,
+            "average_total_power_mw": 0.0,
+            "average_adc_area_fraction": 0.0,
+            "average_adc_power_fraction": 0.0,
+        }
+    return {
+        "average_total_area_mm2": mean(r["total_area_mm2"] for r in rows),
+        "average_total_power_mw": mean(r["total_power_mw"] for r in rows),
+        "average_adc_area_fraction": mean(r["adc_area_fraction"] for r in rows),
+        "average_adc_power_fraction": mean(r["adc_power_fraction"] for r in rows),
+    }
+
+
+def table2_rows(results: list[CoDesignResult], accuracy_loss: float = 0.01) -> list[dict]:
+    """Evaluation of the co-designed decision trees for <= 1 % accuracy loss (Table II)."""
+    rows = []
+    for result in results:
+        chosen = result.selected.get(accuracy_loss)
+        if chosen is None:
+            continue
+        vs_baseline = result.table2_reduction(accuracy_loss)
+        vs_approx = result.table2_reduction_vs_approximate(accuracy_loss)
+        technology = result.metadata.get("technology")
+        self_power = analyze_self_power(chosen.hardware, technology)
+        rows.append(
+            {
+                "dataset": result.dataset,
+                "accuracy_pct": chosen.accuracy * 100.0,
+                "depth": chosen.depth,
+                "tau": chosen.tau,
+                "area_mm2": chosen.hardware.total_area_mm2,
+                "power_mw": chosen.hardware.total_power_mw,
+                "area_reduction_vs_baseline_x": vs_baseline.area_factor if vs_baseline else float("nan"),
+                "power_reduction_vs_baseline_x": vs_baseline.power_factor if vs_baseline else float("nan"),
+                "area_reduction_vs_approx_x": vs_approx.area_factor if vs_approx else float("nan"),
+                "power_reduction_vs_approx_x": vs_approx.power_factor if vs_approx else float("nan"),
+                "self_powered": self_power.is_self_powered,
+            }
+        )
+    return rows
+
+
+def table2_summary(rows: list[dict]) -> dict:
+    """Averages quoted in the Table II discussion."""
+    if not rows:
+        return {
+            "average_area_mm2": 0.0,
+            "average_power_mw": 0.0,
+            "average_area_reduction_vs_baseline_x": 0.0,
+            "average_power_reduction_vs_baseline_x": 0.0,
+        }
+    return {
+        "average_area_mm2": mean(r["area_mm2"] for r in rows),
+        "average_power_mw": mean(r["power_mw"] for r in rows),
+        "average_area_reduction_vs_baseline_x": mean(
+            r["area_reduction_vs_baseline_x"] for r in rows
+        ),
+        "average_power_reduction_vs_baseline_x": mean(
+            r["power_reduction_vs_baseline_x"] for r in rows
+        ),
+    }

@@ -1,0 +1,210 @@
+"""Baseline [2]: exact fully parallel bespoke decision trees (Mubarik et al.).
+
+The baseline implements every decision node of the trained tree as a digital
+comparator against its hardwired threshold, feeds the comparator outputs into
+two-level label logic, and digitizes every used input feature with a
+conventional flash ADC channel (full comparator bank + ladder) sharing a
+single priority encoder.  This is the design whose accuracy and hardware the
+paper reports in Table I and against which Figs. 4/5 and Table II are
+normalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adc.frontend import ConventionalFrontEnd
+from repro.adc.thermometer import level_to_binary, quantize_array_to_levels
+from repro.circuits.area_power import AreaPowerReport, estimate_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import synthesize_constant_comparator, synthesize_sop
+from repro.circuits.two_level import Literal, SumOfProducts
+from repro.core.metrics import HardwareReport
+from repro.mltrees.tree import DecisionTree, TreeNode
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+def feature_bit_variable(feature: int, bit: int) -> str:
+    """Net name of binary bit ``bit`` (0 = LSB) of input ``feature``."""
+    return f"I{feature}_b{bit}"
+
+
+def comparator_variable(node_id: int) -> str:
+    """Variable name of the comparator output of decision node ``node_id``."""
+    return f"cmp_{node_id}"
+
+
+def _node_paths(tree: DecisionTree) -> list[tuple[tuple[tuple[int, bool], ...], int]]:
+    """Root-to-leaf paths as ``((node_id, took_right), ...), predicted class``."""
+    paths: list[tuple[tuple[tuple[int, bool], ...], int]] = []
+
+    def walk(node: TreeNode, conditions: tuple[tuple[int, bool], ...]) -> None:
+        if node.is_leaf:
+            paths.append((conditions, node.prediction))
+            return
+        walk(node.left, conditions + ((node.node_id, False),))   # type: ignore[arg-type]
+        walk(node.right, conditions + ((node.node_id, True),))   # type: ignore[arg-type]
+
+    walk(tree.root, ())
+    return paths
+
+
+def build_comparator_tree_netlist(
+    tree: DecisionTree,
+    name: str = "baseline_tree",
+    per_feature_bits: dict[int, int] | None = None,
+) -> Netlist:
+    """Synthesize the baseline digital block of a trained tree.
+
+    Parameters
+    ----------
+    tree:
+        Trained quantized decision tree.
+    name:
+        Netlist name.
+    per_feature_bits:
+        Optional per-feature input precision (MSBs retained).  Used by the
+        precision-scaled baseline [7]; the exact baseline [2] always uses the
+        tree's full resolution.  Thresholds are truncated onto the coarser
+        grid of the reduced precision, which is the approximation [7] applies.
+
+    Returns
+    -------
+    Netlist
+        Inputs are the binary feature bits actually needed, outputs are the
+        one-hot class signals ``class_<label>``.
+    """
+    resolution = tree.resolution_bits
+    per_feature_bits = per_feature_bits or {}
+    netlist = Netlist(name)
+
+    # Primary inputs: only the bits each comparator can observe.
+    bit_nets: dict[int, list[str]] = {}
+    for feature in tree.used_features():
+        bits = per_feature_bits.get(feature, resolution)
+        bits = min(max(int(bits), 1), resolution)
+        # MSB-first list of this feature's visible bits.
+        nets = [
+            netlist.add_input(feature_bit_variable(feature, bit))
+            for bit in range(resolution - 1, resolution - bits - 1, -1)
+        ]
+        bit_nets[feature] = nets
+
+    # One digital comparator per decision node (this is what #Comp. counts).
+    comparator_nets: dict[int, str] = {}
+    for node in tree.decision_nodes():
+        feature = node.feature
+        level = node.threshold_level
+        assert feature is not None and level is not None
+        bits = len(bit_nets[feature])
+        # Truncate the threshold onto the visible-bit grid (identity when the
+        # full resolution is kept).
+        shift = resolution - bits
+        constant = level >> shift
+        if constant == 0:
+            constant = 1
+        comparator_nets[node.node_id] = synthesize_constant_comparator(
+            netlist, bit_nets[feature], constant, operation=">="
+        )
+
+    # Two-level label logic over the comparator outputs.
+    label_logic: dict[int, SumOfProducts] = {
+        label: SumOfProducts() for label in range(tree.n_classes)
+    }
+    for conditions, prediction in _node_paths(tree):
+        term = [
+            Literal(comparator_variable(node_id), positive=took_right)
+            for node_id, took_right in conditions
+        ]
+        label_logic[prediction].add_term(term)
+
+    variable_nets = {
+        comparator_variable(node_id): net for node_id, net in comparator_nets.items()
+    }
+    inverted: dict[str, str] = {}
+    for label in range(tree.n_classes):
+        sop = label_logic[label].minimized()
+        output = synthesize_sop(netlist, sop, variable_nets, inverted)
+        target = f"class_{label}"
+        netlist.add_gate("BUF", [output], output=target)
+        netlist.add_output(target)
+    netlist.validate()
+    return netlist
+
+
+class BaselineBespokeDesign:
+    """Complete baseline [2] implementation of a trained decision tree."""
+
+    def __init__(
+        self,
+        tree: DecisionTree,
+        technology: EGFETTechnology | None = None,
+        name: str = "baseline[2]",
+    ):
+        self.tree = tree
+        self.technology = technology if technology is not None else default_technology()
+        self.name = name
+        self.netlist = build_comparator_tree_netlist(tree, name=f"{name}_digital")
+        self.frontend = ConventionalFrontEnd(
+            feature_indices=tree.used_features(),
+            resolution_bits=tree.resolution_bits,
+            technology=self.technology,
+        )
+
+    # ------------------------------------------------------------------ #
+    # cost
+    # ------------------------------------------------------------------ #
+    def digital_report(self) -> AreaPowerReport:
+        """Area/power of the comparator-tree digital block."""
+        return estimate_netlist(self.netlist, self.technology)
+
+    def hardware_report(self) -> HardwareReport:
+        """Combined ADC + digital hardware report (one row of Table I)."""
+        digital = self.digital_report()
+        return HardwareReport(
+            name=self.name,
+            adc_area_mm2=self.frontend.area_mm2,
+            adc_power_uw=self.frontend.power_uw,
+            digital_area_mm2=digital.area_mm2,
+            digital_power_uw=digital.power_uw,
+            n_inputs=self.frontend.n_channels,
+            n_tree_comparators=self.tree.n_decision_nodes,
+            n_adc_comparators=self.frontend.n_comparators,
+        )
+
+    # ------------------------------------------------------------------ #
+    # behaviour (used for netlist-vs-model equivalence)
+    # ------------------------------------------------------------------ #
+    def bit_assignment(self, levels) -> dict[str, bool]:
+        """Binary-bit input assignment of one quantized sample."""
+        assignment: dict[str, bool] = {}
+        resolution = self.tree.resolution_bits
+        for feature in self.tree.used_features():
+            bits = level_to_binary(int(levels[feature]), resolution)
+            for position, bit in enumerate(bits):   # MSB first
+                weight = resolution - 1 - position
+                assignment[feature_bit_variable(feature, weight)] = bool(bit)
+        return assignment
+
+    def netlist_predict_one_level(self, levels) -> int:
+        """Class predicted by the synthesized netlist for one quantized sample."""
+        from repro.circuits.logic_sim import evaluate_outputs
+
+        outputs = evaluate_outputs(self.netlist, self.bit_assignment(levels))
+        winners = [
+            label
+            for label in range(self.tree.n_classes)
+            if outputs.get(f"class_{label}", False)
+        ]
+        if not winners:
+            raise ValueError("baseline netlist produced no active class output")
+        return min(winners)
+
+    def netlist_predict(self, X: np.ndarray) -> np.ndarray:
+        """Netlist predictions for raw normalized samples (slow; verification only)."""
+        levels = quantize_array_to_levels(
+            np.asarray(X, dtype=float), self.tree.resolution_bits
+        )
+        return np.array(
+            [self.netlist_predict_one_level(row) for row in levels], dtype=np.int64
+        )

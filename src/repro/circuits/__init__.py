@@ -1,0 +1,57 @@
+"""Digital circuit substrate: netlists, logic simulation, synthesis, costing.
+
+The paper's digital blocks (bespoke comparator trees of the baseline [2] and
+the two-level unary decision trees of the proposed architecture) are purely
+combinational circuits operating at 20 Hz.  This package provides everything
+required to build, simulate, verify and cost such circuits on top of the
+behavioral EGFET cell library:
+
+* :mod:`repro.circuits.netlist` -- gate-level netlist data structure with
+  validation and topological ordering,
+* :mod:`repro.circuits.logic_sim` -- combinational logic simulator,
+* :mod:`repro.circuits.two_level` -- sum-of-products representation with
+  containment-based minimization (the "simple two-level logic" of Fig. 2b),
+* :mod:`repro.circuits.synthesis` -- synthesis primitives: hardwired-constant
+  comparators, AND/OR trees, sum-of-products mapping,
+* :mod:`repro.circuits.area_power` -- area/power estimation of a netlist
+  against a cell library (the behavioral stand-in for Design Compiler /
+  PrimeTime),
+* :mod:`repro.circuits.verification` -- netlist-vs-reference-model
+  equivalence checking.
+"""
+
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.logic_sim import evaluate_netlist, evaluate_outputs
+from repro.circuits.two_level import Literal, SumOfProducts
+from repro.circuits.synthesis import (
+    synthesize_and_tree,
+    synthesize_or_tree,
+    synthesize_constant_comparator,
+    synthesize_sop,
+)
+from repro.circuits.area_power import AreaPowerReport, estimate_netlist
+from repro.circuits.verification import EquivalenceResult, check_equivalence
+from repro.circuits.verilog import netlist_to_verilog
+from repro.circuits.testbench import generate_verilog_testbench
+from repro.circuits.timing import TimingReport, estimate_timing
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "evaluate_netlist",
+    "evaluate_outputs",
+    "Literal",
+    "SumOfProducts",
+    "synthesize_and_tree",
+    "synthesize_or_tree",
+    "synthesize_constant_comparator",
+    "synthesize_sop",
+    "AreaPowerReport",
+    "estimate_netlist",
+    "EquivalenceResult",
+    "check_equivalence",
+    "netlist_to_verilog",
+    "generate_verilog_testbench",
+    "TimingReport",
+    "estimate_timing",
+]

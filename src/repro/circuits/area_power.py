@@ -1,0 +1,85 @@
+"""Area and power estimation of gate-level netlists.
+
+This module is the behavioral stand-in for the Synopsys Design Compiler /
+PrimeTime flow used in the paper for the digital part of the classifiers.
+Costs are obtained by summing per-cell area/power from the technology's cell
+library and applying the technology's wiring-overhead factor to the area
+(printed routing is far from free at these feature sizes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.pdk.egfet import EGFETTechnology
+
+
+@dataclass(frozen=True)
+class AreaPowerReport:
+    """Cost summary of a synthesized digital block.
+
+    Attributes
+    ----------
+    name:
+        Name of the costed netlist.
+    area_mm2:
+        Total printed area including wiring overhead.
+    power_uw:
+        Total average power in uW.
+    n_gates:
+        Number of gate instances (constant drivers excluded).
+    cell_counts:
+        Instance count per library cell.
+    """
+
+    name: str
+    area_mm2: float
+    power_uw: float
+    n_gates: int
+    cell_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def power_mw(self) -> float:
+        """Total average power in mW."""
+        return self.power_uw / 1000.0
+
+    def __add__(self, other: "AreaPowerReport") -> "AreaPowerReport":
+        combined = Counter(self.cell_counts)
+        combined.update(other.cell_counts)
+        return AreaPowerReport(
+            name=f"{self.name}+{other.name}",
+            area_mm2=self.area_mm2 + other.area_mm2,
+            power_uw=self.power_uw + other.power_uw,
+            n_gates=self.n_gates + other.n_gates,
+            cell_counts=dict(combined),
+        )
+
+
+def estimate_netlist(netlist: Netlist, technology: EGFETTechnology) -> AreaPowerReport:
+    """Estimate the area and power of ``netlist`` in ``technology``.
+
+    Constant-driver cells (``CONST0``/``CONST1``) are tie cells and are not
+    counted as gates, although they are kept in the cell histogram for
+    transparency.
+    """
+    library = technology.cell_library
+    area = 0.0
+    power = 0.0
+    counts: Counter[str] = Counter()
+    n_gates = 0
+    for gate in netlist.gates:
+        cell = library[gate.cell]
+        area += cell.area_mm2
+        power += cell.power_uw
+        counts[gate.cell] += 1
+        if gate.cell not in {"CONST0", "CONST1"}:
+            n_gates += 1
+    return AreaPowerReport(
+        name=netlist.name,
+        area_mm2=area * technology.wiring_area_overhead,
+        power_uw=power,
+        n_gates=n_gates,
+        cell_counts=dict(counts),
+    )

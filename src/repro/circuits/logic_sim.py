@@ -1,0 +1,76 @@
+"""Combinational logic simulation of gate-level netlists.
+
+The simulator evaluates every gate of a :class:`~repro.circuits.netlist.Netlist`
+in topological order.  It is used by the equivalence checker to prove that the
+synthesized bespoke/unary circuits implement exactly the trained decision
+tree, so that reported hardware costs always correspond to a functionally
+correct implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuits.netlist import Gate, Netlist
+
+
+def _eval_gate(gate: Gate, values: Mapping[str, bool]) -> bool:
+    """Evaluate one gate given the values of its input nets."""
+    cell = gate.cell
+    ins = [bool(values[net]) for net in gate.inputs]
+    if cell == "CONST0":
+        return False
+    if cell == "CONST1":
+        return True
+    if cell == "BUF":
+        return ins[0]
+    if cell == "INV":
+        return not ins[0]
+    if cell.startswith("AND"):
+        return all(ins)
+    if cell.startswith("NAND"):
+        return not all(ins)
+    if cell.startswith("OR"):
+        return any(ins)
+    if cell.startswith("NOR"):
+        return not any(ins)
+    if cell == "XOR2":
+        return ins[0] != ins[1]
+    if cell == "XNOR2":
+        return ins[0] == ins[1]
+    if cell == "MUX2":
+        # inputs: (a, b, sel) -> sel ? b : a
+        return ins[1] if ins[2] else ins[0]
+    if cell == "AOI21":
+        # !((a & b) | c)
+        return not ((ins[0] and ins[1]) or ins[2])
+    if cell == "OAI21":
+        # !((a | b) & c)
+        return not ((ins[0] or ins[1]) and ins[2])
+    raise ValueError(f"logic simulator does not know cell {cell!r}")
+
+
+def evaluate_netlist(netlist: Netlist, inputs: Mapping[str, bool]) -> dict[str, bool]:
+    """Evaluate ``netlist`` and return the value of every net.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational circuit to simulate.
+    inputs:
+        Mapping from primary input net name to boolean value.  Every primary
+        input must be present.
+    """
+    missing = [net for net in netlist.inputs if net not in inputs]
+    if missing:
+        raise KeyError(f"missing values for primary inputs: {missing}")
+    values: dict[str, bool] = {net: bool(inputs[net]) for net in netlist.inputs}
+    for gate in netlist.topological_order():
+        values[gate.output] = _eval_gate(gate, values)
+    return values
+
+
+def evaluate_outputs(netlist: Netlist, inputs: Mapping[str, bool]) -> dict[str, bool]:
+    """Evaluate ``netlist`` and return only its primary outputs."""
+    values = evaluate_netlist(netlist, inputs)
+    return {net: values[net] for net in netlist.outputs}

@@ -1,0 +1,118 @@
+"""Static timing estimation of combinational netlists.
+
+Printed EGFET gates are slow (millisecond-scale propagation delays), so even
+a purely combinational classifier must be checked against the sampling
+period -- 50 ms at the paper's 20 Hz operating frequency.  This module
+computes the critical path of a netlist from per-cell delays derived from the
+cell's gate-equivalent size, and reports whether the design meets the
+technology's sampling period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.pdk.egfet import EGFETTechnology
+
+#: Propagation delay of one gate equivalent (a 2-input NAND) in milliseconds.
+#: Printed EGFET gates switch in the millisecond range at 1 V.
+GATE_EQUIVALENT_DELAY_MS = 1.2
+
+#: Fixed delay added per cell for printed interconnect, in milliseconds.
+WIRE_DELAY_MS = 0.15
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Critical-path summary of a combinational block.
+
+    Attributes
+    ----------
+    name:
+        Name of the analyzed netlist.
+    critical_path_delay_ms:
+        Longest input-to-output propagation delay.
+    critical_path:
+        Gate instance names along the critical path (input to output).
+    logic_depth:
+        Number of cells on the critical path.
+    sampling_period_ms:
+        Period available at the technology's operating frequency.
+    """
+
+    name: str
+    critical_path_delay_ms: float
+    critical_path: tuple[str, ...]
+    logic_depth: int
+    sampling_period_ms: float
+
+    @property
+    def meets_timing(self) -> bool:
+        """True when the critical path fits inside the sampling period."""
+        return self.critical_path_delay_ms <= self.sampling_period_ms
+
+    @property
+    def slack_ms(self) -> float:
+        """Remaining time budget (negative when timing is violated)."""
+        return self.sampling_period_ms - self.critical_path_delay_ms
+
+
+def cell_delay_ms(cell_name: str, technology: EGFETTechnology) -> float:
+    """Propagation delay of one library cell in milliseconds."""
+    cell = technology.cell_library[cell_name]
+    if cell.gate_equivalents == 0:
+        return 0.0
+    return cell.gate_equivalents * GATE_EQUIVALENT_DELAY_MS + WIRE_DELAY_MS
+
+
+def estimate_timing(netlist: Netlist, technology: EGFETTechnology) -> TimingReport:
+    """Compute the critical path of ``netlist`` in ``technology``.
+
+    Primary inputs arrive at time 0; each cell adds its propagation delay.
+    The report records the slowest primary output and the gate chain that
+    produces it.
+    """
+    netlist.validate()
+    arrival: dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    predecessor: dict[str, tuple[str, str] | None] = {net: None for net in netlist.inputs}
+
+    for gate in netlist.topological_order():
+        delay = cell_delay_ms(gate.cell, technology)
+        if gate.inputs:
+            slowest_input = max(gate.inputs, key=lambda net: arrival.get(net, 0.0))
+            input_time = arrival.get(slowest_input, 0.0)
+        else:
+            slowest_input = None
+            input_time = 0.0
+        arrival[gate.output] = input_time + delay
+        predecessor[gate.output] = (
+            (slowest_input, gate.name) if slowest_input is not None else (None, gate.name)
+        )
+
+    sampling_period_ms = 1000.0 / technology.frequency_hz
+    if not netlist.outputs:
+        return TimingReport(
+            name=netlist.name,
+            critical_path_delay_ms=0.0,
+            critical_path=(),
+            logic_depth=0,
+            sampling_period_ms=sampling_period_ms,
+        )
+
+    worst_output = max(netlist.outputs, key=lambda net: arrival.get(net, 0.0))
+    path: list[str] = []
+    net: str | None = worst_output
+    while net is not None and predecessor.get(net) is not None:
+        previous_net, gate_name = predecessor[net]  # type: ignore[misc]
+        path.append(gate_name)
+        net = previous_net
+    path.reverse()
+
+    return TimingReport(
+        name=netlist.name,
+        critical_path_delay_ms=arrival.get(worst_output, 0.0),
+        critical_path=tuple(path),
+        logic_depth=len(path),
+        sampling_period_ms=sampling_period_ms,
+    )

@@ -1,0 +1,201 @@
+"""Two-level (sum-of-products) logic representation.
+
+Section III-A of the paper shows that, once the inputs are available as
+parallel unary digits, every class label of a bespoke decision tree reduces to
+"simple two-level logic (e.g. AND-OR)" over those digits (Fig. 2b).  This
+module provides the :class:`SumOfProducts` container used to express that
+logic, together with a lightweight minimizer (duplicate removal, containment
+absorption, and complementary single-literal reduction) that captures the
+obvious simplifications a synthesis tool would perform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A possibly negated boolean variable reference."""
+
+    name: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.name, not self.positive)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Value of the literal under ``assignment``."""
+        value = bool(assignment[self.name])
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return self.name if self.positive else f"!{self.name}"
+
+
+Term = frozenset  # a product term: frozenset[Literal]
+
+
+def _is_contradictory(term: frozenset[Literal]) -> bool:
+    """True when a term contains both a variable and its complement."""
+    names = {}
+    for literal in term:
+        if names.get(literal.name, literal.positive) != literal.positive:
+            return True
+        names[literal.name] = literal.positive
+    return False
+
+
+class SumOfProducts:
+    """A boolean function expressed as an OR of AND terms.
+
+    The empty SOP is the constant ``False``; an SOP containing the empty term
+    is the constant ``True``.
+    """
+
+    def __init__(self, terms: Iterable[Iterable[Literal]] = ()):
+        cleaned: set[frozenset[Literal]] = set()
+        for term in terms:
+            frozen = frozenset(term)
+            if _is_contradictory(frozen):
+                continue
+            cleaned.add(frozen)
+        self._terms: set[frozenset[Literal]] = cleaned
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def false(cls) -> "SumOfProducts":
+        """The constant-false function."""
+        return cls()
+
+    @classmethod
+    def true(cls) -> "SumOfProducts":
+        """The constant-true function."""
+        return cls([frozenset()])
+
+    def add_term(self, literals: Iterable[Literal]) -> None:
+        """Add one product term (ignored if it is contradictory)."""
+        frozen = frozenset(literals)
+        if not _is_contradictory(frozen):
+            self._terms.add(frozen)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def terms(self) -> list[frozenset[Literal]]:
+        """The product terms in a deterministic order."""
+        return sorted(self._terms, key=lambda t: (len(t), sorted(map(str, t))))
+
+    @property
+    def n_terms(self) -> int:
+        """Number of product terms."""
+        return len(self._terms)
+
+    @property
+    def n_literals(self) -> int:
+        """Total literal count (the classic two-level cost metric)."""
+        return sum(len(term) for term in self._terms)
+
+    def variables(self) -> set[str]:
+        """Names of every variable referenced by the function."""
+        return {literal.name for term in self._terms for literal in term}
+
+    def is_false(self) -> bool:
+        """True when the SOP is the constant-false function."""
+        return not self._terms
+
+    def is_true(self) -> bool:
+        """True when the SOP contains the empty (always-true) term."""
+        return any(len(term) == 0 for term in self._terms)
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function under a complete variable assignment."""
+        return any(
+            all(literal.evaluate(assignment) for literal in term)
+            for term in self._terms
+        )
+
+    # ------------------------------------------------------------------ #
+    # minimization
+    # ------------------------------------------------------------------ #
+    def minimized(self) -> "SumOfProducts":
+        """Return an equivalent SOP with the obvious redundancy removed.
+
+        The minimizer applies, to a fixed point:
+
+        * duplicate-term removal (by construction of the term set),
+        * containment absorption: if term ``A`` is a subset of term ``B``
+          then ``B`` is redundant (``A`` already covers it),
+        * single-variable resolution: two terms differing only in the
+          polarity of one literal merge into the common remainder.
+
+        This is not a full Quine-McCluskey pass, but for the shallow
+        AND-OR label logic of bespoke decision trees (one product term per
+        decision path) it removes exactly the redundancies that matter for
+        the area model while staying linear-ish in the number of terms.
+        """
+        terms = set(self._terms)
+        changed = True
+        while changed:
+            changed = False
+            # single-variable resolution
+            merged: set[frozenset[Literal]] = set()
+            consumed: set[frozenset[Literal]] = set()
+            term_list = sorted(terms, key=lambda t: (len(t), sorted(map(str, t))))
+            for i, term_a in enumerate(term_list):
+                for term_b in term_list[i + 1:]:
+                    if len(term_a) != len(term_b):
+                        continue
+                    diff_a = term_a - term_b
+                    diff_b = term_b - term_a
+                    if len(diff_a) == 1 and len(diff_b) == 1:
+                        lit_a = next(iter(diff_a))
+                        lit_b = next(iter(diff_b))
+                        if lit_a.name == lit_b.name and lit_a.positive != lit_b.positive:
+                            merged.add(term_a & term_b)
+                            consumed.add(term_a)
+                            consumed.add(term_b)
+            if merged:
+                terms = (terms - consumed) | merged
+                changed = True
+            # containment absorption
+            kept: set[frozenset[Literal]] = set()
+            for term in sorted(terms, key=lambda t: (len(t), sorted(map(str, t)))):
+                if not any(other <= term for other in kept):
+                    kept.add(term)
+            if kept != terms:
+                terms = kept
+                changed = True
+        result = SumOfProducts()
+        result._terms = terms
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SumOfProducts):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms))
+
+    def __str__(self) -> str:
+        if self.is_false():
+            return "0"
+        if self.is_true():
+            return "1"
+        parts = []
+        for term in self.terms:
+            lits = sorted(map(str, term))
+            parts.append(" & ".join(lits) if lits else "1")
+        return " | ".join(f"({p})" for p in parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SumOfProducts(n_terms={self.n_terms}, n_literals={self.n_literals})"

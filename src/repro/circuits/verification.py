@@ -1,0 +1,103 @@
+"""Functional equivalence checking between netlists and reference models.
+
+Every hardware cost the framework reports should correspond to a circuit that
+actually computes the trained classifier.  This module compares a synthesized
+netlist against an arbitrary reference function, either exhaustively (for
+small input counts) or on a deterministic sample of input vectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.circuits.logic_sim import evaluate_outputs
+from repro.circuits.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    Attributes
+    ----------
+    equivalent:
+        True when no mismatching vector was found.
+    n_vectors:
+        Number of input vectors exercised.
+    mismatches:
+        Up to ``max_recorded_mismatches`` offending input assignments.
+    """
+
+    equivalent: bool
+    n_vectors: int
+    mismatches: list[dict[str, bool]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+ReferenceFunction = Callable[[Mapping[str, bool]], Mapping[str, bool]]
+
+
+def _vectors(
+    input_names: Sequence[str],
+    exhaustive_limit: int,
+    n_random_vectors: int,
+    seed: int,
+):
+    """Yield input assignments: exhaustive if small enough, else sampled."""
+    n_inputs = len(input_names)
+    if n_inputs <= exhaustive_limit:
+        for bits in itertools.product((False, True), repeat=n_inputs):
+            yield dict(zip(input_names, bits))
+        return
+    rng = random.Random(seed)
+    for _ in range(n_random_vectors):
+        yield {name: bool(rng.getrandbits(1)) for name in input_names}
+
+
+def check_equivalence(
+    netlist: Netlist,
+    reference: ReferenceFunction,
+    exhaustive_limit: int = 12,
+    n_random_vectors: int = 2000,
+    seed: int = 0,
+    max_recorded_mismatches: int = 10,
+) -> EquivalenceResult:
+    """Compare ``netlist`` against ``reference`` over its primary inputs.
+
+    Parameters
+    ----------
+    netlist:
+        Circuit under verification.
+    reference:
+        Callable mapping a full input assignment to the expected values of
+        (at least) every primary output of the netlist.
+    exhaustive_limit:
+        Input count up to which all ``2**n`` vectors are enumerated.
+    n_random_vectors:
+        Number of pseudo-random vectors used above the exhaustive limit.
+    seed:
+        Seed of the random vector generator (checks are reproducible).
+    max_recorded_mismatches:
+        Cap on the number of counterexamples stored in the result.
+    """
+    mismatches: list[dict[str, bool]] = []
+    n_vectors = 0
+    for assignment in _vectors(netlist.inputs, exhaustive_limit, n_random_vectors, seed):
+        n_vectors += 1
+        actual = evaluate_outputs(netlist, assignment)
+        expected = reference(assignment)
+        for net in netlist.outputs:
+            if bool(actual[net]) != bool(expected[net]):
+                if len(mismatches) < max_recorded_mismatches:
+                    mismatches.append(dict(assignment))
+                break
+    return EquivalenceResult(
+        equivalent=not mismatches,
+        n_vectors=n_vectors,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,232 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Regenerate Table I on the small benchmarks only::
+
+    python -m repro.cli table1 --fast
+
+Regenerate Fig. 3 (bespoke ADC scaling)::
+
+    python -m repro.cli fig3
+
+Run the full Table II comparison on two named benchmarks::
+
+    python -m repro.cli table2 --datasets seeds vertebral_2c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import fig3_series, fig4_series, fig5_series
+from repro.analysis.render import render_table
+from repro.analysis.experiments import run_benchmark_suite
+from repro.analysis.tables import table1_rows, table1_summary, table2_rows, table2_summary
+from repro.datasets.registry import dataset_names, load_dataset
+
+
+def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        choices=dataset_names(),
+        help="benchmarks to run (default: all eight)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="restrict the default dataset list to the four small benchmarks",
+    )
+
+
+def _suite(args: argparse.Namespace, include_approximate: bool):
+    datasets = tuple(args.datasets) if args.datasets else None
+    return run_benchmark_suite(
+        datasets=datasets,
+        seed=args.seed,
+        include_approximate_baseline=include_approximate,
+        fast=args.fast,
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    series = fig3_series()
+    rows = [
+        (p["n_unary_digits"], p["start_level"], p["area_mm2"], p["power_uw"])
+        for p in series["points"]
+    ]
+    print(render_table(["#UD", "first level", "area (mm2)", "power (uW)"], rows))
+    print(
+        f"\nConventional 4-bit flash ADC: "
+        f"{series['conventional_area_mm2']:.2f} mm2, "
+        f"{series['conventional_power_uw'] / 1000.0:.2f} mW"
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    results = _suite(args, include_approximate=False)
+    rows = table1_rows(results)
+    print(
+        render_table(
+            ["dataset", "acc (%)", "#comp", "#inputs", "ADC area", "total area",
+             "ADC power (mW)", "total power (mW)"],
+            [
+                (r["dataset"], r["accuracy_pct"], r["n_comparators"], r["n_inputs"],
+                 r["adc_area_mm2"], r["total_area_mm2"], r["adc_power_mw"],
+                 r["total_power_mw"])
+                for r in rows
+            ],
+        )
+    )
+    summary = table1_summary(rows)
+    print(
+        f"\nAverages: total area {summary['average_total_area_mm2']:.1f} mm2, "
+        f"total power {summary['average_total_power_mw']:.2f} mW, "
+        f"ADC share {summary['average_adc_area_fraction'] * 100:.0f}% of area / "
+        f"{summary['average_adc_power_fraction'] * 100:.0f}% of power"
+    )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    results = _suite(args, include_approximate=False)
+    series = fig4_series(results)
+    print(
+        render_table(
+            ["dataset", "area reduction (x)", "power reduction (x)"],
+            [
+                (r["abbreviation"], r["area_reduction_x"], r["power_reduction_x"])
+                for r in series["rows"]
+            ],
+        )
+    )
+    print(
+        f"\nAverages: {series['average_area_reduction_x']:.1f}x area, "
+        f"{series['average_power_reduction_x']:.1f}x power"
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    results = _suite(args, include_approximate=False)
+    panels = fig5_series(results)
+    for loss, panel in panels.items():
+        print(f"\n=== accuracy loss <= {loss:.0%} ===")
+        print(
+            render_table(
+                ["dataset", "area reduction (%)", "power reduction (%)"],
+                [
+                    (r["abbreviation"], r["area_reduction_pct"], r["power_reduction_pct"])
+                    for r in panel["rows"]
+                ],
+            )
+        )
+        print(
+            f"Averages: {panel['average_area_reduction_pct']:.1f}% area, "
+            f"{panel['average_power_reduction_pct']:.1f}% power"
+        )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    results = _suite(args, include_approximate=True)
+    rows = table2_rows(results)
+    print(
+        render_table(
+            ["dataset", "acc (%)", "area (mm2)", "power (mW)",
+             "vs[2] area", "vs[2] power", "vs[7] area", "vs[7] power", "self-powered"],
+            [
+                (r["dataset"], r["accuracy_pct"], r["area_mm2"], r["power_mw"],
+                 r["area_reduction_vs_baseline_x"], r["power_reduction_vs_baseline_x"],
+                 r["area_reduction_vs_approx_x"], r["power_reduction_vs_approx_x"],
+                 r["self_powered"])
+                for r in rows
+            ],
+        )
+    )
+    summary = table2_summary(rows)
+    print(
+        f"\nAverages: {summary['average_area_mm2']:.1f} mm2, "
+        f"{summary['average_power_mw']:.2f} mW, "
+        f"{summary['average_area_reduction_vs_baseline_x']:.1f}x area / "
+        f"{summary['average_power_reduction_vs_baseline_x']:.1f}x power vs [2]"
+    )
+    return 0
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    from repro.core.adc_aware_training import ADCAwareTrainer
+    from repro.core.datasheet import generate_datasheet
+    from repro.mltrees.evaluation import train_test_split
+    from repro.mltrees.quantize import quantize_dataset
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=args.seed
+    )
+    tree = ADCAwareTrainer(
+        max_depth=args.depth, gini_threshold=args.tau, seed=args.seed
+    ).fit(quantize_dataset(X_train), y_train, dataset.n_classes)
+    print(
+        generate_datasheet(
+            tree,
+            name=f"{dataset.name} classifier (depth {args.depth}, tau {args.tau:g})",
+            feature_names=dataset.feature_names,
+            class_names=dataset.class_names,
+            X_test=X_test,
+            y_test=y_test,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the bespoke ADC / "
+        "decision-tree co-design paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = subparsers.add_parser("fig3", help="bespoke ADC area/power scaling (Fig. 3)")
+    fig3.set_defaults(handler=_cmd_fig3)
+
+    for name, handler, description in [
+        ("table1", _cmd_table1, "baseline bespoke decision trees (Table I)"),
+        ("fig4", _cmd_fig4, "gains of unary architecture + bespoke ADCs (Fig. 4)"),
+        ("fig5", _cmd_fig5, "gains of ADC-aware training (Fig. 5)"),
+        ("table2", _cmd_table2, "co-designed classifiers at <=1% loss (Table II)"),
+    ]:
+        sub = subparsers.add_parser(name, help=description)
+        _add_suite_arguments(sub)
+        sub.set_defaults(handler=handler)
+
+    datasheet = subparsers.add_parser(
+        "datasheet",
+        help="train one ADC-aware classifier and print its hardware datasheet",
+    )
+    datasheet.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to use"
+    )
+    datasheet.add_argument("--depth", type=int, default=4, help="tree depth")
+    datasheet.add_argument("--tau", type=float, default=0.01, help="Gini tolerance")
+    datasheet.add_argument("--seed", type=int, default=0, help="global seed")
+    datasheet.set_defaults(handler=_cmd_datasheet)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""ADC-aware decision-tree training (Algorithm 1, Section III-C).
+
+The trainer grows a Gini decision tree like conventional CART, but the split
+selected at each node is chosen with hardware awareness.  With ``G`` the best
+Gini score at the node and ``tau`` the tolerance hyperparameter, the
+candidate set ``S = {(Ii, C) | Gini(Ii, C) <= G + tau}`` is partitioned by the
+ADC hardware a selection would add:
+
+* ``S_Z`` (zero cost): the pair has already been selected at another node --
+  the comparator exists, only wiring is added;
+* ``S_M`` (medium cost): the input already has an ADC, but a new reference
+  level (one extra comparator) is required;
+* ``S_H`` (high cost): the input is used for the first time -- a whole new
+  ADC channel (ladder + one comparator) is required.
+
+The first non-empty set in that order wins.  Inside ``S_M`` / ``S_H`` the pair
+with the *smallest threshold* is preferred, because lower reference levels
+yield lower comparator power (Fig. 3); remaining ties are resolved by the
+best Gini score and then uniformly at random, as in the paper.
+
+``tau = 0`` leaves accuracy untouched (only equivalent-quality splits are
+reordered); larger ``tau`` trades accuracy for further hardware reduction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mltrees.cart import GINI_TIE_TOLERANCE
+from repro.mltrees.split_search import (
+    SplitCandidate,
+    class_histogram,
+    enumerate_split_candidates,
+)
+from repro.mltrees.tree import DecisionTree, TreeNode
+
+
+@dataclass(frozen=True)
+class SplitCostSets:
+    """Partition of the tolerance set ``S`` by induced ADC hardware cost."""
+
+    zero_cost: tuple[SplitCandidate, ...]
+    medium_cost: tuple[SplitCandidate, ...]
+    high_cost: tuple[SplitCandidate, ...]
+
+
+def partition_by_cost(
+    candidates: list[SplitCandidate],
+    selected_pairs: set[tuple[int, int]],
+    selected_features: set[int],
+) -> SplitCostSets:
+    """Split ``candidates`` into the S_Z / S_M / S_H sets of Algorithm 1."""
+    zero: list[SplitCandidate] = []
+    medium: list[SplitCandidate] = []
+    high: list[SplitCandidate] = []
+    for candidate in candidates:
+        pair = (candidate.feature, candidate.threshold_level)
+        if pair in selected_pairs:
+            zero.append(candidate)
+        elif candidate.feature in selected_features:
+            medium.append(candidate)
+        else:
+            high.append(candidate)
+    return SplitCostSets(tuple(zero), tuple(medium), tuple(high))
+
+
+class ADCAwareTrainer:
+    """Greedy Gini trainer with the ADC-aware split selection of Algorithm 1.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (the paper sweeps 2..8).
+    gini_threshold:
+        The tolerance ``tau`` (the paper sweeps 0..0.03 in steps of 0.005).
+    resolution_bits:
+        Input quantization (4 bits in the paper).
+    min_samples_leaf, min_samples_split:
+        Standard growth constraints.
+    seed:
+        Seed of the tie-breaking RNG.
+    prefer_low_power_levels:
+        Secondary objective of Algorithm 1: among equally costly new
+        comparators, prefer the smallest threshold (lowest-power reference
+        level).  Disabling it is the ablation of Section III-C's power
+        optimization -- the comparator *count* is still minimized but not the
+        position of the retained levels.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        gini_threshold: float = 0.0,
+        resolution_bits: int = 4,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        seed: int = 0,
+        prefer_low_power_levels: bool = True,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if gini_threshold < 0:
+            raise ValueError("the Gini tolerance tau must be >= 0")
+        if resolution_bits < 1:
+            raise ValueError("resolution_bits must be at least 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("invalid minimum sample constraints")
+        self.max_depth = max_depth
+        self.gini_threshold = gini_threshold
+        self.resolution_bits = resolution_bits
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self.prefer_low_power_levels = prefer_low_power_levels
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 split selection
+    # ------------------------------------------------------------------ #
+    def _select_split(
+        self,
+        candidates: list[SplitCandidate],
+        selected_pairs: set[tuple[int, int]],
+        selected_features: set[int],
+        rng: random.Random,
+    ) -> SplitCandidate:
+        best_gini = min(candidate.gini for candidate in candidates)
+        tolerance_set = [
+            c for c in candidates if c.gini <= best_gini + self.gini_threshold + 1e-15
+        ]
+        sets = partition_by_cost(tolerance_set, selected_pairs, selected_features)
+
+        if sets.zero_cost:
+            pool = list(sets.zero_cost)
+            target_gini = min(c.gini for c in pool)
+            finalists = [c for c in pool if c.gini <= target_gini + GINI_TIE_TOLERANCE]
+            return rng.choice(finalists)
+
+        pool = list(sets.medium_cost) if sets.medium_cost else list(sets.high_cost)
+        if self.prefer_low_power_levels:
+            # Secondary objective: smallest threshold => lowest-power comparator.
+            min_level = min(c.threshold_level for c in pool)
+            pool = [c for c in pool if c.threshold_level == min_level]
+        target_gini = min(c.gini for c in pool)
+        finalists = [c for c in pool if c.gini <= target_gini + GINI_TIE_TOLERANCE]
+        return rng.choice(finalists)
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, X_levels: np.ndarray, y: np.ndarray, n_classes: int | None = None
+    ) -> DecisionTree:
+        """Train an ADC-aware tree on quantized features.
+
+        The tree is grown breadth-first so that the global set of already
+        selected ``(feature, threshold)`` pairs -- which defines the cost of
+        future selections -- evolves in the node order of Algorithm 1.
+        """
+        X_levels = np.asarray(X_levels, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        if X_levels.ndim != 2:
+            raise ValueError("X_levels must be a 2-D matrix")
+        if len(X_levels) != len(y):
+            raise ValueError("X_levels and y must have the same number of samples")
+        if len(y) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if n_classes is None:
+            n_classes = int(y.max()) + 1
+        n_levels = 2 ** self.resolution_bits
+        if X_levels.min() < 0 or X_levels.max() >= n_levels:
+            raise ValueError(
+                f"quantized levels must lie in [0, {n_levels - 1}] for "
+                f"{self.resolution_bits}-bit inputs"
+            )
+
+        rng = random.Random(self.seed)
+        selected_pairs: set[tuple[int, int]] = set()
+        selected_features: set[int] = set()
+        node_counter = 0
+
+        def make_node(indices: np.ndarray, depth: int) -> TreeNode:
+            nonlocal node_counter
+            counts = class_histogram(y[indices], n_classes)
+            node = TreeNode(
+                node_id=node_counter,
+                prediction=int(np.argmax(counts)),
+                n_samples=int(indices.size),
+                class_counts=tuple(int(c) for c in counts),
+                depth=depth,
+            )
+            node_counter += 1
+            return node
+
+        root_indices = np.arange(len(y))
+        root = make_node(root_indices, 0)
+        queue: deque[tuple[TreeNode, np.ndarray]] = deque([(root, root_indices)])
+
+        while queue:
+            node, indices = queue.popleft()
+            counts = np.asarray(node.class_counts)
+            is_pure = int(np.count_nonzero(counts)) <= 1
+            if (
+                node.depth >= self.max_depth
+                or is_pure
+                or indices.size < self.min_samples_split
+            ):
+                continue
+            candidates = enumerate_split_candidates(
+                X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+            )
+            if not candidates:
+                continue
+            split = self._select_split(candidates, selected_pairs, selected_features, rng)
+
+            mask = X_levels[indices, split.feature] >= split.threshold_level
+            right_indices = indices[mask]
+            left_indices = indices[~mask]
+            if left_indices.size == 0 or right_indices.size == 0:
+                continue
+
+            node.feature = split.feature
+            node.threshold_level = split.threshold_level
+            selected_pairs.add((split.feature, split.threshold_level))
+            selected_features.add(split.feature)
+
+            node.left = make_node(left_indices, node.depth + 1)
+            node.right = make_node(right_indices, node.depth + 1)
+            queue.append((node.left, left_indices))
+            queue.append((node.right, right_indices))
+
+        return DecisionTree(
+            root=root,
+            n_features=X_levels.shape[1],
+            n_classes=n_classes,
+            resolution_bits=self.resolution_bits,
+        )

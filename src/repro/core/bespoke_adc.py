@@ -1,0 +1,81 @@
+"""Bespoke ADC front-end generation from trained tree parameters (Section III-B).
+
+Given the unary digits a trained decision tree consumes
+(:attr:`~repro.core.unary_tree.UnaryDecisionTree.required_digits`), each used
+input feature receives a bespoke ADC that retains exactly the comparators for
+those digits and nothing else -- no priority encoder, no unused comparators.
+"""
+
+from __future__ import annotations
+
+from repro.adc.bespoke import BespokeADC
+from repro.adc.frontend import BespokeFrontEnd
+from repro.core.unary_tree import UnaryDecisionTree
+from repro.mltrees.tree import DecisionTree
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+def _required_digits(model: UnaryDecisionTree | DecisionTree) -> dict[int, tuple[int, ...]]:
+    """Per-feature required unary digits of either tree representation."""
+    if isinstance(model, UnaryDecisionTree):
+        return dict(model.required_digits)
+    return model.required_levels()
+
+
+def build_bespoke_adcs(
+    model: UnaryDecisionTree | DecisionTree,
+    technology: EGFETTechnology | None = None,
+    feature_names: list[str] | None = None,
+) -> dict[int, BespokeADC]:
+    """Create one bespoke ADC per used input feature of the model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`DecisionTree` or its unary translation.
+    technology:
+        EGFET technology (defaults to the calibrated behavioral PDK).
+    feature_names:
+        Optional feature names used to label the ADC channels.
+
+    Returns
+    -------
+    dict[int, BespokeADC]
+        Mapping ``feature index -> bespoke ADC`` retaining exactly the
+        comparators required by the tree.
+    """
+    technology = technology if technology is not None else default_technology()
+    resolution_bits = (
+        model.resolution_bits
+        if isinstance(model, (UnaryDecisionTree, DecisionTree))
+        else technology.resolution_bits
+    )
+    adcs: dict[int, BespokeADC] = {}
+    for feature, levels in _required_digits(model).items():
+        name = (
+            feature_names[feature]
+            if feature_names is not None and feature < len(feature_names)
+            else f"I{feature}"
+        )
+        adcs[feature] = BespokeADC(
+            retained_levels=tuple(levels),
+            resolution_bits=resolution_bits,
+            technology=technology,
+            feature_name=name,
+        )
+    return adcs
+
+
+def build_bespoke_frontend(
+    model: UnaryDecisionTree | DecisionTree,
+    technology: EGFETTechnology | None = None,
+    feature_names: list[str] | None = None,
+) -> BespokeFrontEnd:
+    """Create the complete bespoke analog front end for the model."""
+    adcs = build_bespoke_adcs(model, technology, feature_names)
+    if not adcs:
+        raise ValueError(
+            "the trained tree uses no input feature at all (single-leaf tree); "
+            "there is no front end to build"
+        )
+    return BespokeFrontEnd(adcs)

@@ -1,0 +1,208 @@
+"""Design-space exploration of the co-design hyperparameters (Section IV).
+
+The paper brute-forces the two training hyperparameters -- tree depth
+(2..8) and Gini tolerance tau (0..0.03 in steps of 0.005) -- trains one
+ADC-aware tree per combination, and then picks, per accuracy-loss constraint
+(0 %, 1 %, 5 %), the most hardware-efficient design that still meets the
+constraint.  :class:`DesignSpaceExplorer` reproduces that sweep and
+:func:`select_best_design` the constrained selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adc_aware_training import ADCAwareTrainer
+from repro.core.bespoke_adc import build_bespoke_frontend
+from repro.core.metrics import HardwareReport
+from repro.core.unary_tree import UnaryDecisionTree
+from repro.mltrees.evaluation import accuracy_score
+from repro.mltrees.tree import DecisionTree
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+#: Default tau grid of the paper: 0 to 0.03 in increments of 0.005.
+DEFAULT_TAUS: tuple[float, ...] = (0.0, 0.005, 0.010, 0.015, 0.020, 0.025, 0.030)
+
+#: Default depth grid of the paper: 2 to 8 with a step of 1.
+DEFAULT_DEPTHS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated point of the depth x tau design space."""
+
+    dataset: str
+    depth: int
+    tau: float
+    accuracy: float
+    hardware: HardwareReport
+    tree: DecisionTree = field(repr=False)
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total area of the design point."""
+        return self.hardware.total_area_mm2
+
+    @property
+    def total_power_uw(self) -> float:
+        """Total power of the design point in uW."""
+        return self.hardware.total_power_uw
+
+
+def proposed_hardware_report(
+    tree: DecisionTree,
+    technology: EGFETTechnology | None = None,
+    name: str = "proposed",
+) -> HardwareReport:
+    """Hardware report of a tree implemented with the proposed architecture.
+
+    The tree is translated into the parallel unary architecture, its
+    two-level label logic is synthesized and costed, and every used input
+    receives a bespoke ADC retaining only the required unary digits.
+    """
+    technology = technology if technology is not None else default_technology()
+    unary = UnaryDecisionTree(tree)
+    digital = unary.digital_report(technology)
+    if unary.n_inputs > 0:
+        frontend = build_bespoke_frontend(unary, technology)
+        adc_area, adc_power = frontend.area_mm2, frontend.power_uw
+        n_adc_comparators = frontend.n_comparators
+    else:  # degenerate single-leaf tree: nothing to digitize
+        adc_area, adc_power, n_adc_comparators = 0.0, 0.0, 0
+    return HardwareReport(
+        name=name,
+        adc_area_mm2=adc_area,
+        adc_power_uw=adc_power,
+        digital_area_mm2=digital.area_mm2,
+        digital_power_uw=digital.power_uw,
+        n_inputs=unary.n_inputs,
+        n_tree_comparators=0,  # the unary architecture removes all tree comparators
+        n_adc_comparators=n_adc_comparators,
+    )
+
+
+class DesignSpaceExplorer:
+    """Brute-force exploration of the (depth, tau) hyperparameter grid."""
+
+    def __init__(
+        self,
+        technology: EGFETTechnology | None = None,
+        resolution_bits: int = 4,
+        depths: tuple[int, ...] = DEFAULT_DEPTHS,
+        taus: tuple[float, ...] = DEFAULT_TAUS,
+        seed: int = 0,
+    ):
+        self.technology = technology if technology is not None else default_technology()
+        self.resolution_bits = resolution_bits
+        self.depths = tuple(depths)
+        self.taus = tuple(taus)
+        self.seed = seed
+        if not self.depths or not self.taus:
+            raise ValueError("the exploration grid must not be empty")
+
+    def evaluate_point(
+        self,
+        X_train_levels: np.ndarray,
+        y_train: np.ndarray,
+        X_test_levels: np.ndarray,
+        y_test: np.ndarray,
+        n_classes: int,
+        depth: int,
+        tau: float,
+        dataset_name: str = "",
+    ) -> DesignPoint:
+        """Train and cost one (depth, tau) combination."""
+        trainer = ADCAwareTrainer(
+            max_depth=depth,
+            gini_threshold=tau,
+            resolution_bits=self.resolution_bits,
+            seed=self.seed,
+        )
+        tree = trainer.fit(X_train_levels, y_train, n_classes)
+        accuracy = accuracy_score(y_test, tree.predict_levels(X_test_levels))
+        hardware = proposed_hardware_report(
+            tree, self.technology, name=f"codesign[d={depth},tau={tau:g}]"
+        )
+        return DesignPoint(
+            dataset=dataset_name,
+            depth=depth,
+            tau=tau,
+            accuracy=accuracy,
+            hardware=hardware,
+            tree=tree,
+        )
+
+    def explore(
+        self,
+        X_train_levels: np.ndarray,
+        y_train: np.ndarray,
+        X_test_levels: np.ndarray,
+        y_test: np.ndarray,
+        n_classes: int,
+        dataset_name: str = "",
+    ) -> list[DesignPoint]:
+        """Evaluate the full depth x tau grid.
+
+        Every training is independent (the paper parallelizes them across a
+        server); here they run sequentially but share the vectorized split
+        search, which keeps the whole sweep in the seconds range per
+        benchmark.
+        """
+        points: list[DesignPoint] = []
+        for depth in self.depths:
+            for tau in self.taus:
+                points.append(
+                    self.evaluate_point(
+                        X_train_levels,
+                        y_train,
+                        X_test_levels,
+                        y_test,
+                        n_classes,
+                        depth,
+                        tau,
+                        dataset_name,
+                    )
+                )
+        return points
+
+
+def select_best_design(
+    points: list[DesignPoint],
+    reference_accuracy: float,
+    max_accuracy_loss: float,
+    objective: str = "power",
+) -> DesignPoint | None:
+    """Pick the most hardware-efficient design meeting the accuracy constraint.
+
+    Parameters
+    ----------
+    points:
+        Evaluated design points.
+    reference_accuracy:
+        Accuracy of the baseline the loss is measured against.
+    max_accuracy_loss:
+        Maximum allowed absolute accuracy drop (0.0, 0.01 and 0.05 in the
+        paper).
+    objective:
+        ``"power"`` (default, the binding constraint for self-powered
+        operation) or ``"area"``.
+
+    Returns
+    -------
+    DesignPoint | None
+        The selected point, or ``None`` when no point satisfies the
+        constraint.
+    """
+    if objective not in {"power", "area"}:
+        raise ValueError("objective must be 'power' or 'area'")
+    floor = reference_accuracy - max_accuracy_loss
+    feasible = [point for point in points if point.accuracy >= floor - 1e-12]
+    if not feasible:
+        return None
+    if objective == "power":
+        key = lambda p: (p.hardware.total_power_uw, p.hardware.total_area_mm2)
+    else:
+        key = lambda p: (p.hardware.total_area_mm2, p.hardware.total_power_uw)
+    return min(feasible, key=key)

@@ -1,0 +1,162 @@
+"""Hardware/accuracy report records and reduction arithmetic.
+
+Every evaluated classifier implementation -- the baseline [2], the
+ADC-unaware unary design (Fig. 4), the fully co-designed classifiers
+(Fig. 5 / Table II) and the approximate baseline [7] -- is summarized by a
+:class:`HardwareReport` (cost) wrapped in a :class:`ClassifierDesign`
+(cost + model quality).  The reduction helpers implement the two ways the
+paper reports gains: multiplicative factors ("8.6x lower area") and
+percentages ("11 % area reduction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """Area/power summary of one classifier implementation.
+
+    All areas are mm^2, all powers are uW (printed classifiers sit in the
+    uW-to-mW range; converting to mW happens only at presentation time).
+
+    Attributes
+    ----------
+    name:
+        Implementation label (e.g. ``"baseline[2]"`` or ``"codesign tau=0.01"``).
+    adc_area_mm2 / adc_power_uw:
+        Analog front-end cost (all ADC channels plus any shared encoder).
+    digital_area_mm2 / digital_power_uw:
+        Decision-tree logic cost.
+    n_inputs:
+        Number of input features that need an ADC channel (``#Inputs``).
+    n_tree_comparators:
+        Number of comparison nodes in the tree (``#Comp.`` of Table I for the
+        baseline; the proposed unary trees have none in hardware).
+    n_adc_comparators:
+        Total analog comparators across all ADC channels.
+    """
+
+    name: str
+    adc_area_mm2: float
+    adc_power_uw: float
+    digital_area_mm2: float
+    digital_power_uw: float
+    n_inputs: int
+    n_tree_comparators: int
+    n_adc_comparators: int
+
+    # ------------------------------------------------------------------ #
+    # totals
+    # ------------------------------------------------------------------ #
+    @property
+    def total_area_mm2(self) -> float:
+        """ADC + digital area."""
+        return self.adc_area_mm2 + self.digital_area_mm2
+
+    @property
+    def total_power_uw(self) -> float:
+        """ADC + digital power in uW."""
+        return self.adc_power_uw + self.digital_power_uw
+
+    @property
+    def total_power_mw(self) -> float:
+        """ADC + digital power in mW."""
+        return self.total_power_uw / 1000.0
+
+    @property
+    def adc_power_mw(self) -> float:
+        """ADC power in mW."""
+        return self.adc_power_uw / 1000.0
+
+    @property
+    def digital_power_mw(self) -> float:
+        """Digital power in mW."""
+        return self.digital_power_uw / 1000.0
+
+    # ------------------------------------------------------------------ #
+    # shares (the "40 % of area / 74 % of power is ADCs" analysis)
+    # ------------------------------------------------------------------ #
+    @property
+    def adc_area_fraction(self) -> float:
+        """Fraction of the total area spent on ADCs."""
+        total = self.total_area_mm2
+        return self.adc_area_mm2 / total if total > 0 else 0.0
+
+    @property
+    def adc_power_fraction(self) -> float:
+        """Fraction of the total power spent on ADCs."""
+        total = self.total_power_uw
+        return self.adc_power_uw / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ClassifierDesign:
+    """A trained classifier together with its hardware implementation cost.
+
+    Attributes
+    ----------
+    name:
+        Design label.
+    dataset:
+        Benchmark the classifier was trained on.
+    accuracy:
+        Test-set classification accuracy in ``[0, 1]``.
+    hardware:
+        Hardware cost report.
+    depth:
+        Depth of the decision tree.
+    tau:
+        Gini tolerance used during training (0 for ADC-unaware training).
+    """
+
+    name: str
+    dataset: str
+    accuracy: float
+    hardware: HardwareReport
+    depth: int
+    tau: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Gains of a proposed design over a reference design."""
+
+    reference: str
+    proposed: str
+    area_factor: float
+    power_factor: float
+    area_percent: float
+    power_percent: float
+
+
+def reduction_factor(reference: float, proposed: float) -> float:
+    """Multiplicative reduction ``reference / proposed`` ("N x lower")."""
+    if reference < 0 or proposed < 0:
+        raise ValueError("costs must be non-negative")
+    if proposed == 0:
+        return float("inf")
+    return reference / proposed
+
+
+def reduction_percent(reference: float, proposed: float) -> float:
+    """Relative reduction ``(reference - proposed) / reference`` in percent."""
+    if reference < 0 or proposed < 0:
+        raise ValueError("costs must be non-negative")
+    if reference == 0:
+        return 0.0
+    return (reference - proposed) / reference * 100.0
+
+
+def compare_designs(reference: HardwareReport, proposed: HardwareReport) -> ReductionReport:
+    """Summarize the area/power gains of ``proposed`` over ``reference``."""
+    return ReductionReport(
+        reference=reference.name,
+        proposed=proposed.name,
+        area_factor=reduction_factor(reference.total_area_mm2, proposed.total_area_mm2),
+        power_factor=reduction_factor(reference.total_power_uw, proposed.total_power_uw),
+        area_percent=reduction_percent(reference.total_area_mm2, proposed.total_area_mm2),
+        power_percent=reduction_percent(reference.total_power_uw, proposed.total_power_uw),
+    )

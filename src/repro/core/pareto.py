@@ -1,0 +1,71 @@
+"""Pareto-front utilities for the design-space exploration.
+
+The constrained selection of Section IV answers "cheapest design within X %
+accuracy loss"; the Pareto front answers the broader question "which explored
+designs are worth looking at at all".  These helpers are generic over the
+objectives so they can rank accuracy-vs-power, accuracy-vs-area, or any other
+pair extracted from :class:`~repro.core.exploration.DesignPoint`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.exploration import DesignPoint
+
+
+def pareto_front(
+    items: Sequence,
+    maximize: Callable[[object], float],
+    minimize: Callable[[object], float],
+) -> list:
+    """Return the items not dominated under (maximize, minimize) objectives.
+
+    An item is dominated when another item is at least as good on both
+    objectives and strictly better on at least one.  The returned front is
+    sorted by the minimized objective (ascending).
+    """
+    front = []
+    for item in items:
+        dominated = False
+        for other in items:
+            if other is item:
+                continue
+            at_least_as_good = (
+                maximize(other) >= maximize(item) and minimize(other) <= minimize(item)
+            )
+            strictly_better = (
+                maximize(other) > maximize(item) or minimize(other) < minimize(item)
+            )
+            if at_least_as_good and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    # Deduplicate identical objective pairs while preserving determinism.
+    seen: set[tuple[float, float]] = set()
+    unique = []
+    for item in sorted(front, key=lambda it: (minimize(it), -maximize(it))):
+        key = (round(minimize(item), 12), round(maximize(item), 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(item)
+    return unique
+
+
+def accuracy_power_front(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Accuracy-vs-total-power Pareto front of explored design points."""
+    return pareto_front(
+        points,
+        maximize=lambda p: p.accuracy,
+        minimize=lambda p: p.hardware.total_power_uw,
+    )
+
+
+def accuracy_area_front(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Accuracy-vs-total-area Pareto front of explored design points."""
+    return pareto_front(
+        points,
+        maximize=lambda p: p.accuracy,
+        minimize=lambda p: p.hardware.total_area_mm2,
+    )

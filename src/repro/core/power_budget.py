@@ -1,0 +1,78 @@
+"""Self-power feasibility analysis (Section IV, closing discussion).
+
+A printed classifier is *self-powered* when the whole on-sensor system --
+ADC front end, decision-tree logic and the printed sensors themselves --
+fits inside the power budget of a printed energy harvester (about 2 mW).
+The paper's headline result is that the co-designed classifiers meet this
+budget on every benchmark (Pendigits only at 10 % accuracy loss), whereas
+none of the baseline designs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import HardwareReport
+from repro.pdk.egfet import EGFETTechnology, default_technology
+from repro.pdk.sensors import SensorSuite
+
+
+@dataclass(frozen=True)
+class SelfPowerAnalysis:
+    """Outcome of a self-power feasibility check.
+
+    Attributes
+    ----------
+    design:
+        Name of the analyzed classifier implementation.
+    classifier_power_mw:
+        ADC + digital power of the classifier.
+    sensor_power_mw:
+        Power of the printed sensors (one per used input feature).
+    harvester_budget_mw:
+        Power the printed energy harvester can deliver.
+    """
+
+    design: str
+    classifier_power_mw: float
+    sensor_power_mw: float
+    harvester_budget_mw: float
+
+    @property
+    def total_power_mw(self) -> float:
+        """Classifier plus sensor power."""
+        return self.classifier_power_mw + self.sensor_power_mw
+
+    @property
+    def is_self_powered(self) -> bool:
+        """True when the complete system fits inside the harvester budget."""
+        return self.total_power_mw <= self.harvester_budget_mw
+
+    @property
+    def headroom_mw(self) -> float:
+        """Remaining harvester budget (negative when infeasible)."""
+        return self.harvester_budget_mw - self.total_power_mw
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the harvester budget consumed."""
+        return self.total_power_mw / self.harvester_budget_mw
+
+
+def analyze_self_power(
+    hardware: HardwareReport,
+    technology: EGFETTechnology | None = None,
+) -> SelfPowerAnalysis:
+    """Check whether a classifier implementation can run from a printed harvester.
+
+    One printed sensor is accounted per used input feature (unused features
+    need neither a sensor nor an ADC channel).
+    """
+    technology = technology if technology is not None else default_technology()
+    sensors = SensorSuite(n_sensors=hardware.n_inputs, sensor=technology.sensor)
+    return SelfPowerAnalysis(
+        design=hardware.name,
+        classifier_power_mw=hardware.total_power_mw,
+        sensor_power_mw=sensors.power_mw,
+        harvester_budget_mw=technology.harvester.budget_mw,
+    )

@@ -1,0 +1,200 @@
+"""Process-variation modeling for printed comparators.
+
+Printed EGFET devices exhibit large process variability, so a realistic
+bespoke ADC must tolerate random comparator input-offset voltages: a
+comparator nominally referenced at ``k / 2**N * Vdd`` actually trips at that
+voltage plus a device-specific offset.  This module provides a Monte-Carlo
+analysis of how such offsets propagate through the unary decision tree to
+classification accuracy -- the variability extension the paper leaves to
+future work, useful for deciding how much offset the printed comparator
+design needs to guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.unary_tree import UnaryDecisionTree
+from repro.mltrees.evaluation import accuracy_score
+from repro.mltrees.tree import DecisionTree
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+@dataclass(frozen=True)
+class ComparatorOffsetModel:
+    """Gaussian input-offset model for printed comparators.
+
+    Attributes
+    ----------
+    sigma_v:
+        Standard deviation of the comparator input offset, in volts.
+    mean_v:
+        Systematic offset component, in volts (0 for a centered process).
+    """
+
+    sigma_v: float
+    mean_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_v < 0:
+            raise ValueError("offset sigma must be >= 0")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` comparator offsets in volts."""
+        if self.sigma_v == 0:
+            return np.full(size, self.mean_v)
+        return rng.normal(self.mean_v, self.sigma_v, size=size)
+
+
+@dataclass(frozen=True)
+class VariationAnalysis:
+    """Outcome of a Monte-Carlo comparator-offset study.
+
+    Attributes
+    ----------
+    nominal_accuracy:
+        Accuracy with ideal (offset-free) comparators.
+    mean_accuracy / std_accuracy / min_accuracy:
+        Statistics of the per-trial accuracies under random offsets.
+    accuracies:
+        Accuracy of every Monte-Carlo trial.
+    sigma_v:
+        Offset sigma the analysis was run at.
+    """
+
+    nominal_accuracy: float
+    mean_accuracy: float
+    std_accuracy: float
+    min_accuracy: float
+    accuracies: tuple[float, ...]
+    sigma_v: float
+
+    @property
+    def mean_accuracy_drop(self) -> float:
+        """Average accuracy lost to comparator offsets."""
+        return self.nominal_accuracy - self.mean_accuracy
+
+    @property
+    def worst_case_drop(self) -> float:
+        """Worst-case accuracy lost across the Monte-Carlo trials."""
+        return self.nominal_accuracy - self.min_accuracy
+
+
+def _predict_with_offsets(
+    unary: UnaryDecisionTree,
+    X: np.ndarray,
+    offsets: dict[tuple[int, int], float],
+    vdd: float,
+    resolution_bits: int,
+) -> np.ndarray:
+    """Predict classes when each retained comparator has a voltage offset.
+
+    Comparator ``(feature, level)`` fires when the (normalized) analog input
+    exceeds ``level / 2**N + offset / vdd``.
+    """
+    n_levels = 2 ** resolution_bits
+    predictions = np.empty(len(X), dtype=np.int64)
+    for row_index, row in enumerate(X):
+        assignment: dict[str, bool] = {}
+        for feature, levels in unary.required_digits.items():
+            value = float(np.clip(row[feature], 0.0, 1.0))
+            for level in levels:
+                threshold = level / n_levels + offsets[(feature, level)] / vdd
+                assignment[f"I{feature}_u{level}"] = value >= threshold
+        predictions[row_index] = unary.predict_from_assignment(assignment)
+    return predictions
+
+
+def simulate_offset_variation(
+    model: UnaryDecisionTree | DecisionTree,
+    X: np.ndarray,
+    y: np.ndarray,
+    sigma_v: float,
+    n_trials: int = 50,
+    technology: EGFETTechnology | None = None,
+    seed: int = 0,
+) -> VariationAnalysis:
+    """Monte-Carlo accuracy under Gaussian comparator input offsets.
+
+    Parameters
+    ----------
+    model:
+        Trained decision tree (or its unary translation) to analyze.
+    X, y:
+        Normalized evaluation samples and labels.
+    sigma_v:
+        Comparator offset standard deviation in volts (printed comparators
+        are typically in the tens-of-millivolt range).
+    n_trials:
+        Number of Monte-Carlo process instances.
+    technology:
+        Supplies the supply voltage (full-scale range) of the ADCs.
+    seed:
+        RNG seed; the analysis is reproducible.
+    """
+    if n_trials < 1:
+        raise ValueError("at least one Monte-Carlo trial is required")
+    technology = technology if technology is not None else default_technology()
+    unary = model if isinstance(model, UnaryDecisionTree) else UnaryDecisionTree(model)
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+
+    offset_model = ComparatorOffsetModel(sigma_v=sigma_v)
+    rng = np.random.default_rng(seed)
+    comparators = [
+        (feature, level)
+        for feature, levels in unary.required_digits.items()
+        for level in levels
+    ]
+
+    nominal = accuracy_score(y, unary.predict(X))
+    if not comparators:
+        # A single-leaf tree has no comparators and is immune to offsets.
+        accuracies = tuple([nominal] * n_trials)
+        return VariationAnalysis(
+            nominal_accuracy=nominal,
+            mean_accuracy=nominal,
+            std_accuracy=0.0,
+            min_accuracy=nominal,
+            accuracies=accuracies,
+            sigma_v=sigma_v,
+        )
+
+    accuracies = []
+    for _ in range(n_trials):
+        samples = offset_model.sample(rng, len(comparators))
+        offsets = dict(zip(comparators, samples))
+        predictions = _predict_with_offsets(
+            unary, X, offsets, technology.vdd, unary.resolution_bits
+        )
+        accuracies.append(accuracy_score(y, predictions))
+
+    accuracies_array = np.asarray(accuracies)
+    return VariationAnalysis(
+        nominal_accuracy=nominal,
+        mean_accuracy=float(accuracies_array.mean()),
+        std_accuracy=float(accuracies_array.std()),
+        min_accuracy=float(accuracies_array.min()),
+        accuracies=tuple(float(a) for a in accuracies),
+        sigma_v=sigma_v,
+    )
+
+
+def offset_tolerance_sweep(
+    model: UnaryDecisionTree | DecisionTree,
+    X: np.ndarray,
+    y: np.ndarray,
+    sigmas_v: tuple[float, ...] = (0.0, 0.01, 0.02, 0.03, 0.05),
+    n_trials: int = 30,
+    technology: EGFETTechnology | None = None,
+    seed: int = 0,
+) -> list[VariationAnalysis]:
+    """Run :func:`simulate_offset_variation` over a grid of offset sigmas."""
+    return [
+        simulate_offset_variation(
+            model, X, y, sigma_v, n_trials=n_trials, technology=technology, seed=seed
+        )
+        for sigma_v in sigmas_v
+    ]

@@ -1,0 +1,41 @@
+"""Dataset substrate: synthetic stand-ins for the paper's 8 UCI benchmarks.
+
+The paper evaluates on eight UCI datasets (WhiteWine, Cardio, Arrhythmia,
+Balance-Scale, Vertebral-3C, Seeds, Vertebral-2C, Pendigits) with inputs
+normalized to ``[0, 1]`` and a random 70/30 split.  This environment has no
+network access, so each benchmark is replaced by a deterministic synthetic
+generator matched to the original's feature count, class count, sample count
+and approximate baseline decision-tree accuracy (see DESIGN.md, Section 2).
+Balance-Scale is special: the original dataset is a complete factorial of a
+known deterministic rule, so it is regenerated *exactly*.
+
+Real UCI CSV files can be substituted at any time through
+:func:`repro.datasets.registry.load_csv`.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.normalize import MinMaxNormalizer, normalize_unit_range
+from repro.datasets.registry import (
+    DATASET_ABBREVIATIONS,
+    dataset_names,
+    load_csv,
+    load_dataset,
+    paper_reference,
+)
+from repro.datasets.synthetic import (
+    make_classification_blobs,
+    make_ordinal_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "MinMaxNormalizer",
+    "normalize_unit_range",
+    "DATASET_ABBREVIATIONS",
+    "dataset_names",
+    "load_dataset",
+    "load_csv",
+    "paper_reference",
+    "make_classification_blobs",
+    "make_ordinal_dataset",
+]

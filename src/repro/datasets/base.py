@@ -1,0 +1,85 @@
+"""Dataset container used across the repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A normalized classification dataset.
+
+    Attributes
+    ----------
+    name:
+        Canonical dataset name (e.g. ``"whitewine"``).
+    X:
+        Feature matrix with values in ``[0, 1]`` (sensor outputs after
+        normalization, ready for the ADC front end).
+    y:
+        Integer class labels ``0 .. n_classes - 1``.
+    feature_names:
+        One name per column of ``X``.
+    class_names:
+        One name per class label.
+    description:
+        Short human-readable description, including the substitution note
+        when the dataset is a synthetic stand-in.
+    metadata:
+        Free-form extra information (e.g. the paper's reported baseline
+        accuracy for this benchmark).
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: list[str]
+    class_names: list[str]
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=float)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 2:
+            raise ValueError(f"{self.name}: X must be a 2-D matrix")
+        if self.y.ndim != 1:
+            raise ValueError(f"{self.name}: y must be a 1-D label vector")
+        if len(self.X) != len(self.y):
+            raise ValueError(f"{self.name}: X and y must have the same length")
+        if len(self.feature_names) != self.X.shape[1]:
+            raise ValueError(f"{self.name}: one feature name per column is required")
+        n_classes = int(self.y.max()) + 1 if len(self.y) else 0
+        if len(self.class_names) < n_classes:
+            raise ValueError(f"{self.name}: missing class names")
+        if len(self.y) and self.y.min() < 0:
+            raise ValueError(f"{self.name}: labels must be non-negative")
+        if self.X.size and (self.X.min() < -1e-9 or self.X.max() > 1 + 1e-9):
+            raise ValueError(f"{self.name}: features must be normalized to [0, 1]")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes."""
+        return len(self.class_names)
+
+    def class_distribution(self) -> np.ndarray:
+        """Per-class sample counts."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(name={self.name!r}, samples={self.n_samples}, "
+            f"features={self.n_features}, classes={self.n_classes})"
+        )

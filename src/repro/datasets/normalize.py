@@ -1,0 +1,45 @@
+"""Feature normalization to the ``[0, 1]`` sensor range.
+
+The paper normalizes all inputs to ``[0, 1]`` before quantization; in a real
+deployment this corresponds to the sensor/analog conditioning mapping the
+physical quantity onto the ADC's full-scale range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxNormalizer:
+    """Per-feature min-max scaler with the usual fit/transform interface."""
+
+    def __init__(self) -> None:
+        self.minimum_: np.ndarray | None = None
+        self.maximum_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxNormalizer":
+        """Learn the per-feature range from ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        self.minimum_ = X.min(axis=0)
+        self.maximum_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale ``X`` into ``[0, 1]`` using the learned range (clipping)."""
+        if self.minimum_ is None or self.maximum_ is None:
+            raise RuntimeError("normalizer must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        span = self.maximum_ - self.minimum_
+        span = np.where(span <= 0, 1.0, span)
+        return np.clip((X - self.minimum_) / span, 0.0, 1.0)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the scaled matrix."""
+        return self.fit(X).transform(X)
+
+
+def normalize_unit_range(X: np.ndarray) -> np.ndarray:
+    """One-shot min-max normalization of a feature matrix into ``[0, 1]``."""
+    return MinMaxNormalizer().fit_transform(X)

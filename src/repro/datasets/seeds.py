@@ -1,0 +1,55 @@
+"""Seeds stand-in dataset.
+
+The UCI seeds dataset contains 210 wheat kernels (70 per variety) described by
+seven geometric measurements.  The three varieties form fairly compact,
+mildly overlapping clusters; the paper's baseline tree reaches 90.5 %.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import make_classification_blobs
+
+_FEATURE_NAMES = [
+    "area",
+    "perimeter",
+    "compactness",
+    "kernel_length",
+    "kernel_width",
+    "asymmetry_coefficient",
+    "groove_length",
+]
+
+_CLASS_NAMES = ["kama", "rosa", "canadian"]
+
+
+def load_seeds(seed: int = 0) -> Dataset:
+    """Synthetic stand-in for the UCI seeds (wheat kernel) dataset."""
+    X, y = make_classification_blobs(
+        n_samples=210,
+        n_features=7,
+        n_classes=3,
+        n_informative=7,
+        class_sep=1.7,
+        noise_scale=1.0,
+        label_noise=0.04,
+        class_weights=[1 / 3, 1 / 3, 1 / 3],
+        clusters_per_class=2,
+        seed=seed,
+    )
+    return Dataset(
+        name="seeds",
+        X=X,
+        y=y,
+        feature_names=list(_FEATURE_NAMES),
+        class_names=list(_CLASS_NAMES),
+        description=(
+            "Synthetic stand-in for UCI seeds: three balanced wheat varieties over "
+            "seven geometric kernel measurements."
+        ),
+        metadata={
+            "abbreviation": "SE",
+            "paper_baseline_accuracy": 0.905,
+            "synthetic_standin": True,
+        },
+    )

@@ -1,0 +1,212 @@
+"""Conventional (ADC-unaware) greedy Gini decision-tree trainer.
+
+This is the trainer used for the baseline bespoke decision trees of [2]: at
+every node the split with the best (minimum) weighted Gini score is chosen,
+with ties broken uniformly at random -- which is exactly the behaviour the
+paper contrasts Algorithm 1 against ("ADC-unaware training would randomly
+select one combination among those with the best Gini score").
+
+The baseline protocol of Section IV ("the minimum tree depth, up to 8, that
+achieves the maximum accuracy is used") is implemented by
+:func:`fit_baseline_tree`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mltrees.evaluation import accuracy_score
+from repro.mltrees.split_search import (
+    SplitCandidate,
+    class_histogram,
+    enumerate_split_candidates,
+)
+from repro.mltrees.tree import DecisionTree, TreeNode
+
+#: Gini scores closer than this are considered equal for tie-breaking.
+GINI_TIE_TOLERANCE = 1e-12
+
+
+class CARTTrainer:
+    """Greedy Gini (CART-style) trainer on quantized features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (number of comparisons along the longest path).
+    resolution_bits:
+        Input quantization; candidate thresholds are the ADC levels
+        ``1 .. 2**resolution_bits - 1``.
+    min_samples_leaf:
+        Minimum number of training samples each child of a split must hold.
+    min_samples_split:
+        Minimum number of samples a node must hold to be split further.
+    seed:
+        Seed of the tie-breaking RNG (training is fully reproducible).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        resolution_bits: int = 4,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if resolution_bits < 1:
+            raise ValueError("resolution_bits must be at least 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("invalid minimum sample constraints")
+        self.max_depth = max_depth
+        self.resolution_bits = resolution_bits
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, X_levels: np.ndarray, y: np.ndarray, n_classes: int | None = None) -> DecisionTree:
+        """Train a tree on quantized features.
+
+        Parameters
+        ----------
+        X_levels:
+            Quantized feature matrix (integer levels).
+        y:
+            Integer class labels in ``[0, n_classes - 1]``.
+        n_classes:
+            Number of classes (inferred from ``y`` when omitted).
+        """
+        X_levels = np.asarray(X_levels, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        if X_levels.ndim != 2:
+            raise ValueError("X_levels must be a 2-D matrix")
+        if len(X_levels) != len(y):
+            raise ValueError("X_levels and y must have the same number of samples")
+        if len(y) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if n_classes is None:
+            n_classes = int(y.max()) + 1
+        n_levels = 2 ** self.resolution_bits
+        if X_levels.min() < 0 or X_levels.max() >= n_levels:
+            raise ValueError(
+                f"quantized levels must lie in [0, {n_levels - 1}] "
+                f"for {self.resolution_bits}-bit inputs"
+            )
+
+        rng = random.Random(self.seed)
+        node_counter = [0]
+
+        def build(indices: np.ndarray, depth: int) -> TreeNode:
+            counts = class_histogram(y[indices], n_classes)
+            prediction = int(np.argmax(counts))
+            node = TreeNode(
+                node_id=node_counter[0],
+                prediction=prediction,
+                n_samples=int(indices.size),
+                class_counts=tuple(int(c) for c in counts),
+                depth=depth,
+            )
+            node_counter[0] += 1
+
+            is_pure = int(np.count_nonzero(counts)) <= 1
+            if depth >= self.max_depth or is_pure or indices.size < self.min_samples_split:
+                return node
+
+            candidates = enumerate_split_candidates(
+                X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+            )
+            if not candidates:
+                return node
+
+            split = self._select_split(candidates, rng)
+            mask = X_levels[indices, split.feature] >= split.threshold_level
+            right_indices = indices[mask]
+            left_indices = indices[~mask]
+            if left_indices.size == 0 or right_indices.size == 0:
+                return node
+
+            node.feature = split.feature
+            node.threshold_level = split.threshold_level
+            node.left = build(left_indices, depth + 1)
+            node.right = build(right_indices, depth + 1)
+            return node
+
+        root = build(np.arange(len(y)), 0)
+        return DecisionTree(
+            root=root,
+            n_features=X_levels.shape[1],
+            n_classes=n_classes,
+            resolution_bits=self.resolution_bits,
+        )
+
+    # ------------------------------------------------------------------ #
+    # split selection policy (overridden by hardware-aware trainers)
+    # ------------------------------------------------------------------ #
+    def _select_split(
+        self, candidates: list[SplitCandidate], rng: random.Random
+    ) -> SplitCandidate:
+        """Pick the best-Gini candidate, breaking ties uniformly at random."""
+        best = min(candidate.gini for candidate in candidates)
+        tied = [c for c in candidates if c.gini <= best + GINI_TIE_TOLERANCE]
+        return rng.choice(tied)
+
+
+@dataclass(frozen=True)
+class BaselineFitResult:
+    """Result of the baseline depth-selection protocol."""
+
+    tree: DecisionTree
+    depth: int
+    train_accuracy: float
+    test_accuracy: float
+    accuracy_by_depth: dict[int, float]
+
+
+def fit_baseline_tree(
+    X_train_levels: np.ndarray,
+    y_train: np.ndarray,
+    X_test_levels: np.ndarray,
+    y_test: np.ndarray,
+    n_classes: int,
+    max_depth: int = 8,
+    resolution_bits: int = 4,
+    seed: int = 0,
+) -> BaselineFitResult:
+    """Baseline protocol of Section IV: minimum depth achieving maximum accuracy.
+
+    Trains one conventional tree per depth in ``1 .. max_depth`` and returns
+    the shallowest tree whose test accuracy equals the best observed test
+    accuracy (less hardware for the same quality).
+    """
+    accuracy_by_depth: dict[int, float] = {}
+    trees: dict[int, DecisionTree] = {}
+    for depth in range(1, max_depth + 1):
+        trainer = CARTTrainer(
+            max_depth=depth, resolution_bits=resolution_bits, seed=seed
+        )
+        tree = trainer.fit(X_train_levels, y_train, n_classes)
+        trees[depth] = tree
+        accuracy_by_depth[depth] = accuracy_score(
+            y_test, tree.predict_levels(X_test_levels)
+        )
+    best_accuracy = max(accuracy_by_depth.values())
+    best_depth = min(
+        depth
+        for depth, accuracy in accuracy_by_depth.items()
+        if accuracy >= best_accuracy - 1e-12
+    )
+    chosen = trees[best_depth]
+    return BaselineFitResult(
+        tree=chosen,
+        depth=best_depth,
+        train_accuracy=accuracy_score(y_train, chosen.predict_levels(X_train_levels)),
+        test_accuracy=accuracy_by_depth[best_depth],
+        accuracy_by_depth=accuracy_by_depth,
+    )

@@ -1,0 +1,101 @@
+"""Export of trained-tree structure for hardware generation.
+
+The co-design flow needs three views of a trained tree:
+
+* the list of comparisons ``(feature, threshold_level)`` -- one per decision
+  node -- which sizes the baseline's digital comparators,
+* the set of *unique* unary digits required per feature -- which sizes the
+  bespoke ADCs,
+* the decision paths (root-to-leaf condition lists) -- which become the
+  product terms of the two-level label logic of Fig. 2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mltrees.tree import DecisionTree, TreeNode
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """One condition along a decision path.
+
+    ``is_ge`` is True for the right-branch condition ``x[feature] >= level``
+    and False for the complementary left-branch condition ``x[feature] < level``.
+    """
+
+    feature: int
+    level: int
+    is_ge: bool
+
+    def __str__(self) -> str:
+        op = ">=" if self.is_ge else "<"
+        return f"I{self.feature} {op} {self.level}"
+
+
+@dataclass(frozen=True)
+class DecisionPath:
+    """A root-to-leaf path: the conjunction of conditions implying a class."""
+
+    conditions: tuple[PathCondition, ...]
+    prediction: int
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Aggregate comparison statistics of a trained tree.
+
+    Attributes
+    ----------
+    n_decision_nodes:
+        Number of comparison nodes (``#Comp.`` in Table I for the baseline).
+    n_unique_pairs:
+        Number of distinct ``(feature, threshold)`` pairs (the number of
+        comparators the *bespoke ADCs* must provide in total).
+    used_features:
+        Features referenced by at least one split (``#Inputs`` in Table I).
+    required_levels:
+        Per used feature, the sorted unary-digit levels required.
+    """
+
+    n_decision_nodes: int
+    n_unique_pairs: int
+    used_features: tuple[int, ...]
+    required_levels: dict[int, tuple[int, ...]]
+
+
+def tree_to_paths(tree: DecisionTree) -> list[DecisionPath]:
+    """Extract every root-to-leaf decision path of ``tree``."""
+    paths: list[DecisionPath] = []
+
+    def walk(node: TreeNode, conditions: tuple[PathCondition, ...]) -> None:
+        if node.is_leaf:
+            paths.append(
+                DecisionPath(
+                    conditions=conditions,
+                    prediction=node.prediction,
+                    n_samples=node.n_samples,
+                )
+            )
+            return
+        feature = node.feature
+        level = node.threshold_level
+        assert feature is not None and level is not None
+        walk(node.left, conditions + (PathCondition(feature, level, is_ge=False),))
+        walk(node.right, conditions + (PathCondition(feature, level, is_ge=True),))
+
+    walk(tree.root, ())
+    return paths
+
+
+def comparisons_summary(tree: DecisionTree) -> ComparisonSummary:
+    """Aggregate comparison statistics used by the hardware generators."""
+    comparisons = tree.comparisons()
+    return ComparisonSummary(
+        n_decision_nodes=len(comparisons),
+        n_unique_pairs=len(set(comparisons)),
+        used_features=tuple(tree.used_features()),
+        required_levels=tree.required_levels(),
+    )

@@ -1,0 +1,91 @@
+"""Human-readable rendering of trained decision trees.
+
+Two views are provided:
+
+* :func:`render_tree_text` -- an indented text dump (feature names, grid
+  thresholds, per-node class counts), useful in logs and examples;
+* :func:`tree_to_dot` -- a Graphviz DOT description for documentation and
+  debugging of the generated hardware (each decision node is one unary digit
+  read in the proposed architecture).
+"""
+
+from __future__ import annotations
+
+from repro.mltrees.tree import DecisionTree, TreeNode
+
+
+def _feature_label(feature: int, feature_names: list[str] | None) -> str:
+    if feature_names is not None and 0 <= feature < len(feature_names):
+        return feature_names[feature]
+    return f"I{feature}"
+
+
+def _class_label(label: int, class_names: list[str] | None) -> str:
+    if class_names is not None and 0 <= label < len(class_names):
+        return class_names[label]
+    return f"class {label}"
+
+
+def render_tree_text(
+    tree: DecisionTree,
+    feature_names: list[str] | None = None,
+    class_names: list[str] | None = None,
+) -> str:
+    """Render ``tree`` as an indented text diagram."""
+    scale = 2 ** tree.resolution_bits
+    lines: list[str] = []
+
+    def walk(node: TreeNode, indent: int, prefix: str) -> None:
+        pad = "  " * indent
+        if node.is_leaf:
+            lines.append(
+                f"{pad}{prefix}-> {_class_label(node.prediction, class_names)} "
+                f"(n={node.n_samples}, counts={list(node.class_counts)})"
+            )
+            return
+        feature = _feature_label(node.feature, feature_names)  # type: ignore[arg-type]
+        threshold = node.threshold_level / scale  # type: ignore[operator]
+        lines.append(
+            f"{pad}{prefix}{feature} >= {threshold:.4g} "
+            f"(level {node.threshold_level}, n={node.n_samples})"
+        )
+        walk(node.left, indent + 1, "[no ] ")   # type: ignore[arg-type]
+        walk(node.right, indent + 1, "[yes] ")  # type: ignore[arg-type]
+
+    walk(tree.root, 0, "")
+    return "\n".join(lines)
+
+
+def tree_to_dot(
+    tree: DecisionTree,
+    feature_names: list[str] | None = None,
+    class_names: list[str] | None = None,
+    graph_name: str = "decision_tree",
+) -> str:
+    """Render ``tree`` as a Graphviz DOT digraph."""
+    scale = 2 ** tree.resolution_bits
+    lines = [f"digraph {graph_name} {{", "  node [shape=box, fontsize=10];"]
+
+    def walk(node: TreeNode) -> None:
+        if node.is_leaf:
+            label = (
+                f"{_class_label(node.prediction, class_names)}\\n"
+                f"n={node.n_samples}"
+            )
+            lines.append(
+                f'  n{node.node_id} [label="{label}", style=filled, fillcolor=lightgrey];'
+            )
+            return
+        feature = _feature_label(node.feature, feature_names)  # type: ignore[arg-type]
+        threshold = node.threshold_level / scale  # type: ignore[operator]
+        label = f"{feature} >= {threshold:.4g}\\nlevel {node.threshold_level}"
+        lines.append(f'  n{node.node_id} [label="{label}"];')
+        assert node.left is not None and node.right is not None
+        lines.append(f'  n{node.node_id} -> n{node.left.node_id} [label="no"];')
+        lines.append(f'  n{node.node_id} -> n{node.right.node_id} [label="yes"];')
+        walk(node.left)
+        walk(node.right)
+
+    walk(tree.root)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

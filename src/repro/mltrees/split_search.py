@@ -1,0 +1,129 @@
+"""Vectorized enumeration of candidate splits on quantized features.
+
+Both the conventional CART trainer and the ADC-aware trainer (Algorithm 1 of
+the paper) need, at every node, the Gini score of **every** candidate
+``(feature, threshold)`` pair -- the ADC-aware variant because it builds the
+tolerance set ``S = {(Ii, C) | Gini(Ii, C) <= G + tau}`` from them.
+
+Because the inputs are quantized to ``2**resolution_bits`` levels, each
+feature has at most ``2**resolution_bits - 1`` distinct thresholds, so the
+candidate enumeration is computed from per-level class histograms with a
+single cumulative sum per feature (no per-threshold re-partitioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """One candidate split and its quality.
+
+    Splitting sends samples with ``x[feature] >= threshold_level`` to the
+    right child and the rest to the left child.
+    """
+
+    feature: int
+    threshold_level: int
+    gini: float
+    n_left: int
+    n_right: int
+
+
+def class_histogram(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-class sample counts of a label vector."""
+    return np.bincount(y, minlength=n_classes).astype(np.int64)
+
+
+def enumerate_split_candidates(
+    X_levels: np.ndarray,
+    y: np.ndarray,
+    indices: np.ndarray,
+    n_classes: int,
+    n_levels: int,
+    min_samples_leaf: int = 1,
+) -> list[SplitCandidate]:
+    """Enumerate every valid split of the node containing ``indices``.
+
+    Parameters
+    ----------
+    X_levels:
+        Full quantized feature matrix, shape ``(n_samples, n_features)``,
+        integer levels in ``[0, n_levels - 1]``.
+    y:
+        Full label vector, integer classes in ``[0, n_classes - 1]``.
+    indices:
+        Row indices of the samples that reached the node.
+    n_classes:
+        Number of classes in the task.
+    n_levels:
+        Number of quantization levels (``2**resolution_bits``).
+    min_samples_leaf:
+        A split is only valid when both children receive at least this many
+        samples.
+
+    Returns
+    -------
+    list[SplitCandidate]
+        All valid candidates, ordered by ``(feature, threshold_level)``.
+        Candidates are reported only for thresholds that actually separate
+        the node's samples ("C value in dataset" in Algorithm 1), i.e. both
+        children are non-empty.
+    """
+    indices = np.asarray(indices)
+    if indices.size == 0:
+        return []
+    y_node = y[indices]
+    n_node = indices.size
+    candidates: list[SplitCandidate] = []
+    thresholds = np.arange(1, n_levels)  # k = 1 .. n_levels - 1
+
+    for feature in range(X_levels.shape[1]):
+        values = X_levels[indices, feature]
+        # hist[level, class] = number of node samples at that level and class
+        flat = np.bincount(
+            values * n_classes + y_node, minlength=n_levels * n_classes
+        )
+        hist = flat.reshape(n_levels, n_classes)
+        total_counts = hist.sum(axis=0)
+        # left child of threshold k = samples with level < k
+        cumulative = np.cumsum(hist, axis=0)
+        left_counts = cumulative[thresholds - 1]          # shape (n_thresholds, C)
+        right_counts = total_counts[None, :] - left_counts
+        n_left = left_counts.sum(axis=1)
+        n_right = right_counts.sum(axis=1)
+
+        valid = (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+        if not np.any(valid):
+            continue
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gini_left = 1.0 - np.sum(
+                (left_counts / np.maximum(n_left, 1)[:, None]) ** 2, axis=1
+            )
+            gini_right = 1.0 - np.sum(
+                (right_counts / np.maximum(n_right, 1)[:, None]) ** 2, axis=1
+            )
+        weighted = (n_left * gini_left + n_right * gini_right) / n_node
+
+        for position in np.nonzero(valid)[0]:
+            candidates.append(
+                SplitCandidate(
+                    feature=feature,
+                    threshold_level=int(thresholds[position]),
+                    gini=float(weighted[position]),
+                    n_left=int(n_left[position]),
+                    n_right=int(n_right[position]),
+                )
+            )
+    return candidates
+
+
+def best_gini(candidates: list[SplitCandidate]) -> float:
+    """Minimum Gini score among ``candidates`` (``inf`` when empty)."""
+    if not candidates:
+        return float("inf")
+    return min(candidate.gini for candidate in candidates)

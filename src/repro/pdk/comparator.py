@@ -1,0 +1,66 @@
+"""Analog comparator model for printed flash ADCs.
+
+Section III-B of the paper observes two properties of the EGFET comparators
+obtained from SPICE simulation of the bespoke ADCs (Fig. 3):
+
+1. ADC area scales *linearly* with the number of retained comparators, i.e.
+   every comparator occupies the same printed area.
+2. Comparator power depends on the reference voltage it is biased at: the
+   higher the tap on the resistor ladder, the higher the power ("the power is
+   substantially decreased when lower-order outputs are selected", with an up
+   to 4.4x spread for a 4-UD ADC).
+
+The model below captures both: constant area per comparator and power that is
+an affine function of the reference-level index ``k`` (1-based, level ``k``
+compares against ``Vref = k / 2**resolution * vref_range``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalogComparatorModel:
+    """Behavioral area/power model of a printed analog comparator.
+
+    Attributes
+    ----------
+    area_mm2:
+        Printed area of one comparator, independent of its reference level.
+    power_base_uw:
+        Reference-level-independent component of the comparator power.
+    power_per_level_uw:
+        Additional power per reference-level index (the slope of the linear
+        power-vs-level trend visible in Fig. 3 of the paper).
+    """
+
+    area_mm2: float = 0.0286
+    power_base_uw: float = 1.2
+    power_per_level_uw: float = 3.45
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise ValueError("comparator area must be positive")
+        if self.power_base_uw < 0 or self.power_per_level_uw < 0:
+            raise ValueError("comparator power coefficients must be >= 0")
+
+    def power_uw(self, level: int) -> float:
+        """Average power of the comparator biased at reference level ``level``.
+
+        ``level`` is the 1-based tap index on the resistor ladder; for an
+        N-bit flash ADC valid levels are ``1 .. 2**N - 1``.
+        """
+        if level < 1:
+            raise ValueError(f"reference level must be >= 1, got {level}")
+        return self.power_base_uw + self.power_per_level_uw * level
+
+    def bank_power_uw(self, levels: list[int] | tuple[int, ...]) -> float:
+        """Total power of a bank of comparators at the given reference levels."""
+        return sum(self.power_uw(level) for level in levels)
+
+    def bank_area_mm2(self, n_comparators: int) -> float:
+        """Total area of a bank of ``n_comparators`` comparators."""
+        if n_comparators < 0:
+            raise ValueError("number of comparators must be >= 0")
+        return self.area_mm2 * n_comparators

@@ -1,0 +1,50 @@
+"""Printed energy-harvester budget model.
+
+The paper targets *self-powered* classifiers: the whole on-sensor system
+(ADCs + decision tree + sensors) must stay below the power that printed
+energy harvesters can deliver, cited as about 2 mW [18].  This module keeps
+that budget in one place so the feasibility analysis of Section IV (and the
+corresponding benchmark) has a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrintedEnergyHarvester:
+    """Power budget of a printed energy harvester.
+
+    Attributes
+    ----------
+    name:
+        Human-readable harvester description.
+    budget_mw:
+        Maximum continuous power the harvester can supply, in mW.
+    """
+
+    name: str = "printed nano-mechanical harvester"
+    budget_mw: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.budget_mw <= 0:
+            raise ValueError("harvester budget must be positive")
+
+    def can_power(self, load_mw: float) -> bool:
+        """Return ``True`` when ``load_mw`` fits inside the harvester budget."""
+        if load_mw < 0:
+            raise ValueError("load power must be >= 0")
+        return load_mw <= self.budget_mw
+
+    def headroom_mw(self, load_mw: float) -> float:
+        """Remaining budget after powering ``load_mw`` (negative if exceeded)."""
+        if load_mw < 0:
+            raise ValueError("load power must be >= 0")
+        return self.budget_mw - load_mw
+
+    def utilization(self, load_mw: float) -> float:
+        """Fraction of the budget consumed by ``load_mw``."""
+        if load_mw < 0:
+            raise ValueError("load power must be >= 0")
+        return load_mw / self.budget_mw

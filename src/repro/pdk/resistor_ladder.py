@@ -1,0 +1,79 @@
+"""Printed resistor-ladder (reference divider) model for flash ADCs.
+
+A flash ADC derives its reference voltages from a string of ``2**N`` equal
+resistors between the supply rails (Fig. 1 of the paper).  In the bespoke
+ADCs the ladder is always retained in full -- only comparators and the
+encoder are removed -- so the ladder contributes a fixed area and a fixed
+static power (the current flowing through the string).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResistorLadder:
+    """Behavioral model of the flash-ADC reference resistor string.
+
+    Attributes
+    ----------
+    resolution_bits:
+        ADC resolution; the ladder has ``2**resolution_bits`` segments.
+    segment_area_mm2:
+        Printed area of one resistor segment.
+    vdd:
+        Supply voltage across the string (V).
+    string_resistance_ohm:
+        Total resistance of the string; sets the static power ``Vdd^2 / R``.
+    """
+
+    resolution_bits: int = 4
+    segment_area_mm2: float = 0.0107
+    vdd: float = 1.0
+    string_resistance_ohm: float = 83_000.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("ladder resolution must be at least 1 bit")
+        if self.segment_area_mm2 <= 0 or self.string_resistance_ohm <= 0:
+            raise ValueError("ladder physical parameters must be positive")
+        if self.vdd <= 0:
+            raise ValueError("supply voltage must be positive")
+
+    @property
+    def n_segments(self) -> int:
+        """Number of resistor segments in the string."""
+        return 2 ** self.resolution_bits
+
+    @property
+    def n_taps(self) -> int:
+        """Number of usable reference taps (one per comparator position)."""
+        return self.n_segments - 1
+
+    @property
+    def area_mm2(self) -> float:
+        """Total printed area of the resistor string."""
+        return self.segment_area_mm2 * self.n_segments
+
+    @property
+    def power_uw(self) -> float:
+        """Static power dissipated in the string, in uW."""
+        return self.vdd ** 2 / self.string_resistance_ohm * 1e6
+
+    def reference_voltage(self, level: int) -> float:
+        """Reference voltage at tap ``level`` (1-based).
+
+        Tap ``k`` of an N-bit ladder sits at ``k / 2**N * Vdd``; an input
+        above this voltage makes comparator ``k`` output '1'.
+        """
+        if not 1 <= level <= self.n_taps:
+            raise ValueError(
+                f"tap level must be in [1, {self.n_taps}] for a "
+                f"{self.resolution_bits}-bit ladder, got {level}"
+            )
+        return self.vdd * level / self.n_segments
+
+    def reference_voltages(self) -> list[float]:
+        """All tap voltages from the lowest to the highest comparator."""
+        return [self.reference_voltage(k) for k in range(1, self.n_taps + 1)]

@@ -1,0 +1,54 @@
+"""Printed sensor power model.
+
+Section IV argues that sensor cost is negligible next to the classifier: the
+printed sensors reviewed in [1] consume about 5 uW each, so even the largest
+benchmark (11 used inputs) adds less than 0.11 mW.  These small models let
+the self-power analysis include that contribution explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PrintedSensor:
+    """A single printed sensor characterized only by its average power."""
+
+    name: str = "printed sensor"
+    power_uw: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.power_uw < 0:
+            raise ValueError("sensor power must be >= 0")
+
+    @property
+    def power_mw(self) -> float:
+        """Average sensor power in mW."""
+        return self.power_uw / 1000.0
+
+
+@dataclass(frozen=True)
+class SensorSuite:
+    """A collection of identical printed sensors feeding the classifier.
+
+    The co-design framework instantiates one sensor per *used* input feature
+    of the decision tree (unused features need neither a sensor nor an ADC).
+    """
+
+    n_sensors: int
+    sensor: PrintedSensor = field(default_factory=PrintedSensor)
+
+    def __post_init__(self) -> None:
+        if self.n_sensors < 0:
+            raise ValueError("number of sensors must be >= 0")
+
+    @property
+    def power_uw(self) -> float:
+        """Total sensor power in uW."""
+        return self.n_sensors * self.sensor.power_uw
+
+    @property
+    def power_mw(self) -> float:
+        """Total sensor power in mW."""
+        return self.power_uw / 1000.0

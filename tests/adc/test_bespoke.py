@@ -1,0 +1,101 @@
+"""Unit tests for the bespoke ADC model (Fig. 1b / Fig. 3 of the paper)."""
+
+import pytest
+
+from repro.adc.bespoke import BespokeADC
+from repro.adc.flash import FlashADC
+
+
+class TestBespokeADCStructure:
+    def test_levels_are_sorted_and_deduplicated(self, technology):
+        adc = BespokeADC((7, 1, 4, 2, 4), technology=technology)
+        assert adc.retained_levels == (1, 2, 4, 7)
+        assert adc.n_unary_digits == 4
+        assert adc.label == "4-UD"
+
+    def test_at_least_one_level_required(self, technology):
+        with pytest.raises(ValueError):
+            BespokeADC((), technology=technology)
+
+    def test_out_of_range_level_rejected(self, technology):
+        with pytest.raises(ValueError):
+            BespokeADC((16,), technology=technology)
+        with pytest.raises(ValueError):
+            BespokeADC((0,), technology=technology)
+
+    def test_feature_name_is_preserved(self, technology):
+        adc = BespokeADC((3,), technology=technology, feature_name="alcohol")
+        assert adc.feature_name == "alcohol"
+
+
+class TestBespokeADCCost:
+    def test_area_depends_only_on_digit_count(self, technology):
+        low = BespokeADC((1, 2, 3, 4), technology=technology)
+        high = BespokeADC((12, 13, 14, 15), technology=technology)
+        assert low.area_mm2 == pytest.approx(high.area_mm2)
+
+    def test_area_scales_linearly_with_digit_count(self, technology):
+        one = BespokeADC((1,), technology=technology)
+        two = BespokeADC((1, 2), technology=technology)
+        three = BespokeADC((1, 2, 3), technology=technology)
+        step_one = two.area_mm2 - one.area_mm2
+        step_two = three.area_mm2 - two.area_mm2
+        assert step_one == pytest.approx(step_two)
+        assert step_one == pytest.approx(technology.comparator.area_mm2)
+
+    def test_power_depends_on_which_levels_are_retained(self, technology):
+        """Fig. 3: a 4-UD ADC spans roughly a 4x power range."""
+        low = BespokeADC((1, 2, 3, 4), technology=technology)
+        high = BespokeADC((12, 13, 14, 15), technology=technology)
+        assert high.power_uw > 2.5 * low.power_uw
+
+    def test_fig3_power_range_for_4ud(self, technology):
+        """Paper: 4-UD bespoke ADC power ranges roughly from 47 uW to 205 uW."""
+        low = BespokeADC((1, 2, 3, 4), technology=technology)
+        high = BespokeADC((12, 13, 14, 15), technology=technology)
+        assert 35.0 <= low.power_uw <= 70.0
+        assert 170.0 <= high.power_uw <= 240.0
+
+    def test_fig3_area_range(self, technology):
+        """Paper: bespoke ADC area spans roughly 0.2 to 0.6 mm2."""
+        smallest = BespokeADC((1,), technology=technology)
+        largest = BespokeADC(tuple(range(1, 16)), technology=technology)
+        assert 0.15 <= smallest.area_mm2 <= 0.30
+        assert 0.45 <= largest.area_mm2 <= 0.75
+
+    def test_always_cheaper_than_conventional(self, technology):
+        conventional = FlashADC(4, technology)
+        full_bespoke = BespokeADC(tuple(range(1, 16)), technology=technology)
+        assert full_bespoke.area_mm2 < conventional.area_mm2 / 10
+        assert full_bespoke.power_uw < conventional.power_uw
+
+    def test_subset_of_levels_never_costs_more(self, technology):
+        full = BespokeADC(tuple(range(1, 16)), technology=technology)
+        subset = BespokeADC((2, 5, 9), technology=technology)
+        assert subset.area_mm2 < full.area_mm2
+        assert subset.power_uw < full.power_uw
+
+
+class TestBespokeADCConversion:
+    def test_digits_match_thermometer_semantics(self, technology):
+        adc = BespokeADC((1, 2, 4, 7), technology=technology)
+        digits = adc.convert(0.30)  # level 4
+        assert digits == {1: 1, 2: 1, 4: 1, 7: 0}
+
+    def test_extreme_inputs(self, technology):
+        adc = BespokeADC((3, 9), technology=technology)
+        assert adc.convert(0.0) == {3: 0, 9: 0}
+        assert adc.convert(1.0) == {3: 1, 9: 1}
+
+    def test_convert_to_level_matches_flash(self, technology):
+        bespoke = BespokeADC((5,), technology=technology)
+        flash = FlashADC(4, technology)
+        for value in [0.0, 0.1, 0.37, 0.5, 0.99, 1.0]:
+            assert bespoke.convert_to_level(value) == flash.convert(value).level
+
+    def test_digits_consistent_with_each_other(self, technology):
+        """If a higher digit fires, every lower retained digit must fire too."""
+        adc = BespokeADC((2, 6, 11), technology=technology)
+        for value in [0.05, 0.2, 0.45, 0.8, 1.0]:
+            digits = adc.convert(value)
+            assert digits[2] >= digits[6] >= digits[11]

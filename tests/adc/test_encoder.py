@@ -1,0 +1,46 @@
+"""Unit tests for the priority encoder model."""
+
+import pytest
+
+from repro.adc.encoder import PriorityEncoder
+from repro.adc.thermometer import to_thermometer
+
+
+class TestPriorityEncoder:
+    def test_input_count(self, technology):
+        assert PriorityEncoder(4, technology).n_inputs == 15
+        assert PriorityEncoder(3, technology).n_inputs == 7
+
+    def test_invalid_resolution(self, technology):
+        with pytest.raises(ValueError):
+            PriorityEncoder(0, technology)
+
+    def test_cost_positive_and_growing_with_resolution(self, technology):
+        enc3 = PriorityEncoder(3, technology)
+        enc4 = PriorityEncoder(4, technology)
+        assert 0 < enc3.area_mm2 < enc4.area_mm2
+        assert 0 < enc3.power_uw < enc4.power_uw
+
+    def test_calibration_encoder_is_most_of_conventional_adc(self, technology):
+        """The 15-to-4 encoder accounts for ~10 of the 11 mm2 of the 4-bit ADC."""
+        encoder = PriorityEncoder(4, technology)
+        assert 9.0 <= encoder.area_mm2 <= 11.5
+        assert 0.3 <= encoder.power_mw <= 0.5
+
+    def test_encoding_all_levels(self, technology):
+        encoder = PriorityEncoder(4, technology)
+        for level in range(16):
+            binary = encoder.encode(to_thermometer(level, 15))
+            assert len(binary) == 4
+            value = int("".join(str(b) for b in binary), 2)
+            assert value == level
+
+    def test_encode_rejects_wrong_width(self, technology):
+        encoder = PriorityEncoder(4, technology)
+        with pytest.raises(ValueError):
+            encoder.encode((1, 0, 0))
+
+    def test_encode_rejects_invalid_thermometer(self, technology):
+        encoder = PriorityEncoder(4, technology)
+        with pytest.raises(ValueError):
+            encoder.encode((0, 1) + (0,) * 13)

@@ -1,0 +1,85 @@
+"""Unit tests for the conventional flash ADC model."""
+
+import pytest
+
+from repro.adc.flash import FlashADC
+
+
+class TestFlashADCStructure:
+    def test_comparator_count(self, technology):
+        assert FlashADC(4, technology).n_comparators == 15
+        assert FlashADC(3, technology).n_comparators == 7
+        assert FlashADC(1, technology).n_comparators == 1
+
+    def test_comparator_levels(self, technology):
+        assert FlashADC(3, technology).comparator_levels == tuple(range(1, 8))
+
+    def test_encoder_presence(self, technology):
+        assert FlashADC(4, technology).encoder is not None
+        assert FlashADC(4, technology, include_encoder=False).encoder is None
+
+    def test_invalid_resolution(self, technology):
+        with pytest.raises(ValueError):
+            FlashADC(0, technology)
+
+
+class TestFlashADCCost:
+    def test_paper_calibration_4bit(self, technology):
+        """Section III-B: the conventional 4-bit ADC is ~11 mm2 and ~0.83 mW."""
+        adc = FlashADC(4, technology)
+        assert adc.area_mm2 == pytest.approx(11.0, rel=0.10)
+        assert adc.power_mw == pytest.approx(0.83, rel=0.05)
+
+    def test_encoder_dominates_area(self, technology):
+        """Removing the encoder is what makes bespoke ADCs tiny."""
+        adc = FlashADC(4, technology)
+        assert adc.encoder_area_mm2 > 0.8 * adc.area_mm2
+
+    def test_total_is_sum_of_parts(self, technology):
+        adc = FlashADC(4, technology)
+        assert adc.area_mm2 == pytest.approx(
+            adc.ladder_area_mm2 + adc.comparator_area_mm2 + adc.encoder_area_mm2
+        )
+        assert adc.power_uw == pytest.approx(
+            adc.ladder_power_uw + adc.comparator_power_uw + adc.encoder_power_uw
+        )
+
+    def test_no_encoder_variant_is_cheaper(self, technology):
+        with_encoder = FlashADC(4, technology)
+        without_encoder = FlashADC(4, technology, include_encoder=False)
+        assert without_encoder.area_mm2 < with_encoder.area_mm2
+        assert without_encoder.power_uw < with_encoder.power_uw
+        assert without_encoder.encoder_area_mm2 == 0.0
+
+    def test_cost_grows_with_resolution(self, technology):
+        areas = [FlashADC(bits, technology).area_mm2 for bits in (2, 3, 4)]
+        powers = [FlashADC(bits, technology).power_uw for bits in (2, 3, 4)]
+        assert areas == sorted(areas)
+        assert powers == sorted(powers)
+
+
+class TestFlashADCConversion:
+    def test_conversion_fields_consistent(self, technology):
+        adc = FlashADC(4, technology)
+        conversion = adc.convert(0.40)
+        assert conversion.level == 6
+        assert sum(conversion.thermometer) == 6
+        assert conversion.binary == (0, 1, 1, 0)
+
+    def test_extremes(self, technology):
+        adc = FlashADC(4, technology)
+        assert adc.convert(0.0).level == 0
+        assert adc.convert(1.0).level == 15
+        assert adc.convert(-2.0).level == 0
+        assert adc.convert(5.0).level == 15
+
+    def test_no_encoder_returns_empty_binary(self, technology):
+        adc = FlashADC(4, technology, include_encoder=False)
+        conversion = adc.convert(0.5)
+        assert conversion.binary == ()
+        assert sum(conversion.thermometer) == conversion.level
+
+    def test_conversion_monotone_in_input(self, technology):
+        adc = FlashADC(4, technology)
+        levels = [adc.convert(v / 100).level for v in range(101)]
+        assert levels == sorted(levels)

@@ -1,0 +1,90 @@
+"""Tests for the benchmark-suite orchestration and the CLI."""
+
+import pytest
+
+from repro.analysis.experiments import run_benchmark_suite
+from repro.cli import build_parser, main
+
+
+class TestRunBenchmarkSuite:
+    def test_runs_named_small_benchmarks(self):
+        results = run_benchmark_suite(
+            datasets=("vertebral_2c",),
+            seed=0,
+            include_approximate_baseline=False,
+            depths=(2, 3),
+            taus=(0.0, 0.01),
+        )
+        assert len(results) == 1
+        assert results[0].dataset == "vertebral_2c"
+        assert results[0].selected
+
+    def test_results_are_cached_per_configuration(self):
+        kwargs = dict(
+            datasets=("vertebral_2c",),
+            seed=0,
+            include_approximate_baseline=False,
+            depths=(2, 3),
+            taus=(0.0, 0.01),
+        )
+        first = run_benchmark_suite(**kwargs)
+        second = run_benchmark_suite(**kwargs)
+        assert first[0] is second[0]
+
+    def test_fast_flag_selects_small_benchmarks(self):
+        results = run_benchmark_suite(
+            fast=True,
+            include_approximate_baseline=False,
+            depths=(2,),
+            taus=(0.0,),
+        )
+        names = {result.dataset for result in results}
+        assert names == {"balance_scale", "vertebral_3c", "vertebral_2c", "seeds"}
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ["fig3", "table1", "fig4", "fig5", "table2"]:
+            args = parser.parse_args(
+                [command] if command == "fig3" else [command, "--fast"]
+            )
+            assert callable(args.handler)
+
+    def test_fig3_command_prints_series(self, capsys):
+        exit_code = main(["fig3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Conventional 4-bit flash ADC" in captured.out
+        assert "#UD" in captured.out
+
+    def test_table1_command_on_named_dataset(self, capsys):
+        exit_code = main(["table1", "--datasets", "vertebral_2c", "--seed", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "vertebral_2c" in captured.out
+        assert "Averages" in captured.out
+
+    def test_fig4_command_on_named_dataset(self, capsys):
+        exit_code = main(["fig4", "--datasets", "vertebral_2c"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "area reduction" in captured.out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--datasets", "not_a_dataset"])
+
+    def test_datasheet_command(self, capsys):
+        exit_code = main(
+            ["datasheet", "--dataset", "balance_scale", "--depth", "3", "--tau", "0.01"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "DATASHEET" in captured.out
+        assert "Bespoke ADC front end" in captured.out
+        assert "self-power:" in captured.out
+
+    def test_datasheet_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["datasheet"])

@@ -1,0 +1,92 @@
+"""Unit tests for the exact bespoke baseline [2]."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mubarik import (
+    BaselineBespokeDesign,
+    build_comparator_tree_netlist,
+    comparator_variable,
+    feature_bit_variable,
+)
+
+
+class TestVariableNaming:
+    def test_names(self):
+        assert feature_bit_variable(2, 3) == "I2_b3"
+        assert comparator_variable(7) == "cmp_7"
+
+
+class TestComparatorTreeNetlist:
+    def test_inputs_are_bits_of_used_features(self, small_tree):
+        netlist = build_comparator_tree_netlist(small_tree)
+        used = small_tree.used_features()
+        expected_inputs = {
+            feature_bit_variable(feature, bit)
+            for feature in used
+            for bit in range(small_tree.resolution_bits)
+        }
+        assert set(netlist.inputs) == expected_inputs
+
+    def test_one_output_per_class(self, small_tree):
+        netlist = build_comparator_tree_netlist(small_tree)
+        assert netlist.outputs == [f"class_{c}" for c in range(small_tree.n_classes)]
+
+    def test_netlist_validates(self, small_tree):
+        netlist = build_comparator_tree_netlist(small_tree)
+        netlist.validate()
+        assert netlist.n_gates > small_tree.n_decision_nodes  # comparators + label logic
+
+    def test_reduced_precision_shrinks_logic(self, small_tree):
+        full = build_comparator_tree_netlist(small_tree)
+        scaled = build_comparator_tree_netlist(
+            small_tree,
+            per_feature_bits={f: 2 for f in small_tree.used_features()},
+        )
+        assert scaled.n_gates <= full.n_gates
+
+
+class TestBaselineBespokeDesign:
+    @pytest.fixture(scope="class")
+    def design(self, small_tree, technology):
+        return BaselineBespokeDesign(small_tree, technology)
+
+    def test_netlist_predictions_match_software_tree(self, design, small_tree, small_split):
+        _, X_test_levels, _, _ = small_split
+        sample = X_test_levels[:25]
+        expected = small_tree.predict_levels(sample)
+        actual = np.array([design.netlist_predict_one_level(row) for row in sample])
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_netlist_predictions_match_on_random_levels(self, design, small_tree):
+        rng = np.random.default_rng(17)
+        X_levels = rng.integers(0, 16, size=(40, small_tree.n_features))
+        expected = small_tree.predict_levels(X_levels)
+        actual = np.array([design.netlist_predict_one_level(row) for row in X_levels])
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_netlist_predict_on_raw_features(self, design, small_tree):
+        rng = np.random.default_rng(19)
+        X = rng.random((10, small_tree.n_features))
+        np.testing.assert_array_equal(design.netlist_predict(X), small_tree.predict(X))
+
+    def test_hardware_report_fields(self, design, small_tree):
+        report = design.hardware_report()
+        assert report.n_tree_comparators == small_tree.n_decision_nodes
+        assert report.n_inputs == len(small_tree.used_features())
+        assert report.n_adc_comparators == 15 * report.n_inputs
+        assert report.total_area_mm2 == pytest.approx(
+            report.adc_area_mm2 + report.digital_area_mm2
+        )
+
+    def test_adc_dominates_power(self, design):
+        """Table I observation: ADCs are the dominant power consumer."""
+        report = design.hardware_report()
+        assert report.adc_power_fraction > 0.5
+
+    def test_adc_cost_scales_with_used_inputs(self, small_tree, technology):
+        report = BaselineBespokeDesign(small_tree, technology).hardware_report()
+        n_inputs = report.n_inputs
+        # per-channel bank ~0.6 mm2 / ~0.45 mW plus one shared encoder
+        assert report.adc_area_mm2 > 10.0
+        assert report.adc_power_uw > 400.0 * n_inputs

@@ -1,0 +1,65 @@
+"""Unit tests for netlist area/power estimation."""
+
+import pytest
+
+from repro.circuits.area_power import AreaPowerReport, estimate_netlist
+from repro.circuits.netlist import Netlist
+
+
+def _small_netlist() -> Netlist:
+    netlist = Netlist("small")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    n1 = netlist.add_gate("AND2", [a, b])
+    netlist.add_gate("INV", [n1], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+class TestEstimateNetlist:
+    def test_sums_cell_costs_with_wiring_overhead(self, technology):
+        report = estimate_netlist(_small_netlist(), technology)
+        library = technology.cell_library
+        raw_area = library["AND2"].area_mm2 + library["INV"].area_mm2
+        assert report.area_mm2 == pytest.approx(raw_area * technology.wiring_area_overhead)
+        assert report.power_uw == pytest.approx(
+            library["AND2"].power_uw + library["INV"].power_uw
+        )
+        assert report.n_gates == 2
+        assert report.cell_counts == {"AND2": 1, "INV": 1}
+
+    def test_constants_not_counted_as_gates(self, technology):
+        netlist = Netlist("const")
+        netlist.add_constant(True, output="y")
+        netlist.add_output("y")
+        report = estimate_netlist(netlist, technology)
+        assert report.n_gates == 0
+        assert report.area_mm2 == 0.0
+        assert report.cell_counts == {"CONST1": 1}
+
+    def test_empty_netlist(self, technology):
+        report = estimate_netlist(Netlist("empty"), technology)
+        assert report.area_mm2 == 0.0
+        assert report.power_uw == 0.0
+        assert report.n_gates == 0
+
+    def test_power_mw_conversion(self):
+        report = AreaPowerReport(name="x", area_mm2=1.0, power_uw=1500.0, n_gates=3)
+        assert report.power_mw == pytest.approx(1.5)
+
+    def test_report_addition(self):
+        first = AreaPowerReport("a", 1.0, 10.0, 2, {"INV": 2})
+        second = AreaPowerReport("b", 2.0, 30.0, 3, {"INV": 1, "AND2": 2})
+        combined = first + second
+        assert combined.area_mm2 == pytest.approx(3.0)
+        assert combined.power_uw == pytest.approx(40.0)
+        assert combined.n_gates == 5
+        assert combined.cell_counts == {"INV": 3, "AND2": 2}
+
+    def test_bigger_netlist_costs_more(self, technology):
+        small = estimate_netlist(_small_netlist(), technology)
+        netlist = _small_netlist()
+        netlist.add_gate("OR4", ["a", "b", "a", "b"])
+        bigger = estimate_netlist(netlist, technology)
+        assert bigger.area_mm2 > small.area_mm2
+        assert bigger.power_uw > small.power_uw

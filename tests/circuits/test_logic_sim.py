@@ -1,0 +1,119 @@
+"""Unit tests for the combinational logic simulator."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.logic_sim import evaluate_netlist, evaluate_outputs
+from repro.circuits.netlist import Netlist
+
+
+def _two_input_netlist(cell: str) -> Netlist:
+    netlist = Netlist(f"sim_{cell}")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_gate(cell, [a, b], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+class TestPrimitiveCells:
+    @pytest.mark.parametrize(
+        "cell, function",
+        [
+            ("AND2", lambda a, b: a and b),
+            ("OR2", lambda a, b: a or b),
+            ("NAND2", lambda a, b: not (a and b)),
+            ("NOR2", lambda a, b: not (a or b)),
+            ("XOR2", lambda a, b: a != b),
+            ("XNOR2", lambda a, b: a == b),
+        ],
+    )
+    def test_two_input_cells(self, cell, function):
+        netlist = _two_input_netlist(cell)
+        for a, b in itertools.product((False, True), repeat=2):
+            assert evaluate_outputs(netlist, {"a": a, "b": b})["y"] == function(a, b)
+
+    def test_inverter_and_buffer(self):
+        netlist = Netlist("invbuf")
+        a = netlist.add_input("a")
+        netlist.add_gate("INV", [a], output="ninv")
+        netlist.add_gate("BUF", [a], output="nbuf")
+        netlist.add_output("ninv")
+        netlist.add_output("nbuf")
+        assert evaluate_outputs(netlist, {"a": True}) == {"ninv": False, "nbuf": True}
+        assert evaluate_outputs(netlist, {"a": False}) == {"ninv": True, "nbuf": False}
+
+    def test_constants(self):
+        netlist = Netlist("const")
+        netlist.add_constant(True, output="one")
+        netlist.add_constant(False, output="zero")
+        netlist.add_output("one")
+        netlist.add_output("zero")
+        assert evaluate_outputs(netlist, {}) == {"one": True, "zero": False}
+
+    def test_wide_and_or(self):
+        netlist = Netlist("wide")
+        nets = [netlist.add_input(f"i{k}") for k in range(4)]
+        netlist.add_gate("AND4", nets, output="a4")
+        netlist.add_gate("OR4", nets, output="o4")
+        netlist.add_output("a4")
+        netlist.add_output("o4")
+        out = evaluate_outputs(netlist, {"i0": True, "i1": True, "i2": True, "i3": False})
+        assert out["a4"] is False
+        assert out["o4"] is True
+
+    def test_mux2(self):
+        netlist = Netlist("mux")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        sel = netlist.add_input("sel")
+        netlist.add_gate("MUX2", [a, b, sel], output="y")
+        netlist.add_output("y")
+        assert evaluate_outputs(netlist, {"a": True, "b": False, "sel": False})["y"] is True
+        assert evaluate_outputs(netlist, {"a": True, "b": False, "sel": True})["y"] is False
+
+    def test_aoi_oai(self):
+        netlist = Netlist("aoi")
+        nets = [netlist.add_input(name) for name in "abc"]
+        netlist.add_gate("AOI21", nets, output="aoi")
+        netlist.add_gate("OAI21", nets, output="oai")
+        netlist.add_output("aoi")
+        netlist.add_output("oai")
+        for a, b, c in itertools.product((False, True), repeat=3):
+            out = evaluate_outputs(netlist, {"a": a, "b": b, "c": c})
+            assert out["aoi"] == (not ((a and b) or c))
+            assert out["oai"] == (not ((a or b) and c))
+
+
+class TestSimulatorInterface:
+    def test_missing_input_raises(self):
+        netlist = _two_input_netlist("AND2")
+        with pytest.raises(KeyError, match="missing"):
+            evaluate_outputs(netlist, {"a": True})
+
+    def test_unknown_cell_raises(self):
+        netlist = Netlist("bad")
+        a = netlist.add_input("a")
+        netlist.add_gate("MYSTERY", [a], output="y")
+        netlist.add_output("y")
+        with pytest.raises(ValueError, match="MYSTERY"):
+            evaluate_outputs(netlist, {"a": True})
+
+    def test_evaluate_netlist_returns_internal_nets_too(self):
+        netlist = Netlist("internal")
+        a = netlist.add_input("a")
+        mid = netlist.add_gate("INV", [a])
+        netlist.add_gate("INV", [mid], output="y")
+        netlist.add_output("y")
+        values = evaluate_netlist(netlist, {"a": True})
+        assert values[mid] is False
+        assert values["y"] is True
+
+    def test_multilevel_chain(self):
+        netlist = Netlist("chain")
+        current = netlist.add_input("a")
+        for _ in range(17):
+            current = netlist.add_gate("INV", [current])
+        netlist.add_output(current)
+        assert evaluate_outputs(netlist, {"a": True})[current] is False

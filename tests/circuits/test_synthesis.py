@@ -1,0 +1,159 @@
+"""Unit tests for the synthesis primitives."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.logic_sim import evaluate_outputs
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import (
+    synthesize_and_tree,
+    synthesize_constant_comparator,
+    synthesize_or_tree,
+    synthesize_sop,
+)
+from repro.circuits.two_level import Literal, SumOfProducts
+
+
+def _comparator_netlist(n_bits: int, constant: int, operation: str) -> Netlist:
+    netlist = Netlist("cmp")
+    bits = [netlist.add_input(f"b{k}") for k in range(n_bits - 1, -1, -1)]  # MSB first
+    out = synthesize_constant_comparator(netlist, bits, constant, operation)
+    netlist.add_gate("BUF", [out], output="y")
+    netlist.add_output("y")
+    netlist.validate()
+    return netlist
+
+
+def _evaluate_comparator(netlist: Netlist, n_bits: int, value: int) -> bool:
+    assignment = {
+        f"b{k}": bool((value >> k) & 1) for k in range(n_bits)
+    }
+    return evaluate_outputs(netlist, assignment)["y"]
+
+
+class TestConstantComparator:
+    @pytest.mark.parametrize("operation", [">=", ">", "<", "<="])
+    @pytest.mark.parametrize("constant", [0, 1, 5, 7, 8, 11, 15])
+    def test_matches_python_semantics_for_all_inputs(self, operation, constant):
+        n_bits = 4
+        netlist = _comparator_netlist(n_bits, constant, operation)
+        compare = {
+            ">=": lambda x: x >= constant,
+            ">": lambda x: x > constant,
+            "<": lambda x: x < constant,
+            "<=": lambda x: x <= constant,
+        }[operation]
+        for value in range(2 ** n_bits):
+            assert _evaluate_comparator(netlist, n_bits, value) == compare(value), (
+                f"value={value}, constant={constant}, op={operation}"
+            )
+
+    def test_three_bit_comparator(self):
+        netlist = _comparator_netlist(3, 5, ">=")
+        for value in range(8):
+            assert _evaluate_comparator(netlist, 3, value) == (value >= 5)
+
+    def test_gate_count_small_for_hardwired_constant(self):
+        """Bespoke comparators must collapse to a handful of gates."""
+        netlist = Netlist("count")
+        bits = [netlist.add_input(f"b{k}") for k in range(3, -1, -1)]
+        synthesize_constant_comparator(netlist, bits, 11, ">=")
+        assert netlist.n_gates <= 4
+
+    def test_constant_out_of_range_rejected(self):
+        netlist = Netlist("bad")
+        bits = [netlist.add_input(f"b{k}") for k in range(3, -1, -1)]
+        with pytest.raises(ValueError):
+            synthesize_constant_comparator(netlist, bits, 16, ">=")
+
+    def test_empty_bit_list_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_constant_comparator(Netlist("bad"), [], 0, ">=")
+
+    def test_unknown_operation_rejected(self):
+        netlist = Netlist("bad")
+        bits = [netlist.add_input("b0")]
+        with pytest.raises(ValueError):
+            synthesize_constant_comparator(netlist, bits, 0, "==")
+
+
+class TestAndOrTrees:
+    def test_empty_reductions_are_constants(self):
+        netlist = Netlist("empty")
+        and_net = synthesize_and_tree(netlist, [])
+        or_net = synthesize_or_tree(netlist, [])
+        netlist.add_output(and_net)
+        netlist.add_output(or_net)
+        out = evaluate_outputs(netlist, {})
+        assert out[and_net] is True
+        assert out[or_net] is False
+
+    def test_single_net_passthrough(self):
+        netlist = Netlist("single")
+        a = netlist.add_input("a")
+        assert synthesize_and_tree(netlist, [a]) == a
+        assert synthesize_or_tree(netlist, [a]) == a
+        assert netlist.n_gates == 0
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 7, 9, 13])
+    def test_wide_and_tree(self, width):
+        netlist = Netlist("wide_and")
+        nets = [netlist.add_input(f"i{k}") for k in range(width)]
+        out = synthesize_and_tree(netlist, nets)
+        netlist.add_output(out)
+        all_true = {f"i{k}": True for k in range(width)}
+        assert evaluate_outputs(netlist, all_true)[out] is True
+        one_false = dict(all_true, i0=False)
+        assert evaluate_outputs(netlist, one_false)[out] is False
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 8, 11])
+    def test_wide_or_tree(self, width):
+        netlist = Netlist("wide_or")
+        nets = [netlist.add_input(f"i{k}") for k in range(width)]
+        out = synthesize_or_tree(netlist, nets)
+        netlist.add_output(out)
+        all_false = {f"i{k}": False for k in range(width)}
+        assert evaluate_outputs(netlist, all_false)[out] is False
+        one_true = dict(all_false, **{f"i{width - 1}": True})
+        assert evaluate_outputs(netlist, one_true)[out] is True
+
+
+class TestSynthesizeSop:
+    def test_constant_functions(self):
+        netlist = Netlist("const")
+        false_net = synthesize_sop(netlist, SumOfProducts.false(), {})
+        true_net = synthesize_sop(netlist, SumOfProducts.true(), {})
+        netlist.add_output(false_net)
+        netlist.add_output(true_net)
+        out = evaluate_outputs(netlist, {})
+        assert out[false_net] is False
+        assert out[true_net] is True
+
+    def test_matches_reference_evaluation(self):
+        variables = ["x", "y", "z"]
+        sop = SumOfProducts(
+            [
+                [Literal("x"), Literal("y", False)],
+                [Literal("z")],
+                [Literal("x", False), Literal("y"), Literal("z", False)],
+            ]
+        )
+        netlist = Netlist("sop")
+        nets = {name: netlist.add_input(name) for name in variables}
+        out = synthesize_sop(netlist, sop, nets)
+        netlist.add_output(out)
+        netlist.validate()
+        for bits in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(variables, bits))
+            assert evaluate_outputs(netlist, assignment)[out] == sop.evaluate(assignment)
+
+    def test_inverters_shared_across_outputs(self):
+        sop_one = SumOfProducts([[Literal("x", False)]])
+        sop_two = SumOfProducts([[Literal("x", False), Literal("y")]])
+        netlist = Netlist("shared")
+        nets = {"x": netlist.add_input("x"), "y": netlist.add_input("y")}
+        inverted: dict[str, str] = {}
+        synthesize_sop(netlist, sop_one, nets, inverted)
+        synthesize_sop(netlist, sop_two, nets, inverted)
+        assert netlist.cell_histogram()["INV"] == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the Verilog testbench generator."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.testbench import generate_verilog_testbench
+
+
+def _xor_netlist() -> Netlist:
+    netlist = Netlist("xor_block")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_gate("XOR2", [a, b], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+def _all_vectors(netlist: Netlist):
+    names = netlist.inputs
+    return [
+        dict(zip(names, bits))
+        for bits in itertools.product((False, True), repeat=len(names))
+    ]
+
+
+class TestGenerateVerilogTestbench:
+    def test_structure(self):
+        netlist = _xor_netlist()
+        source = generate_verilog_testbench(netlist, _all_vectors(netlist))
+        assert "module xor_block_tb;" in source
+        assert "xor_block dut (" in source
+        assert source.count("// vector ") == 4
+        assert "TESTBENCH PASSED" in source
+        assert source.rstrip().endswith("endmodule")
+
+    def test_expected_values_come_from_simulator(self):
+        netlist = _xor_netlist()
+        source = generate_verilog_testbench(
+            netlist, [{"a": True, "b": False}, {"a": True, "b": True}]
+        )
+        # XOR(1,0) = 1 and XOR(1,1) = 0 must appear as expectations on y.
+        assert "if (y !== 1'b1)" in source
+        assert "if (y !== 1'b0)" in source
+
+    def test_one_check_per_output_and_vector(self):
+        netlist = Netlist("two_out")
+        a = netlist.add_input("a")
+        netlist.add_gate("BUF", [a], output="same")
+        netlist.add_gate("INV", [a], output="inverted")
+        netlist.add_output("same")
+        netlist.add_output("inverted")
+        vectors = [{"a": False}, {"a": True}]
+        source = generate_verilog_testbench(netlist, vectors)
+        assert source.count("if (same !==") == 2
+        assert source.count("if (inverted !==") == 2
+
+    def test_custom_names(self):
+        netlist = _xor_netlist()
+        source = generate_verilog_testbench(
+            netlist, _all_vectors(netlist), module_name="dut_top", testbench_name="tb_top"
+        )
+        assert "module tb_top;" in source
+        assert "dut_top dut (" in source
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            generate_verilog_testbench(_xor_netlist(), [])
+
+    def test_incomplete_vector_rejected(self):
+        with pytest.raises(KeyError):
+            generate_verilog_testbench(_xor_netlist(), [{"a": True}])

@@ -1,0 +1,92 @@
+"""Unit tests for static timing estimation."""
+
+import pytest
+
+from repro.baselines.mubarik import build_comparator_tree_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.timing import cell_delay_ms, estimate_timing
+from repro.core.unary_tree import UnaryDecisionTree
+
+
+def _chain_netlist(length: int) -> Netlist:
+    netlist = Netlist(f"chain{length}")
+    current = netlist.add_input("a")
+    for _ in range(length):
+        current = netlist.add_gate("INV", [current])
+    netlist.add_gate("BUF", [current], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+class TestCellDelay:
+    def test_constants_have_zero_delay(self, technology):
+        assert cell_delay_ms("CONST0", technology) == 0.0
+        assert cell_delay_ms("CONST1", technology) == 0.0
+
+    def test_bigger_cells_are_slower(self, technology):
+        assert cell_delay_ms("AND4", technology) > cell_delay_ms("INV", technology)
+
+    def test_delay_positive_for_logic_cells(self, technology):
+        for cell in ("INV", "NAND2", "AND2", "OR4", "XOR2"):
+            assert cell_delay_ms(cell, technology) > 0
+
+
+class TestEstimateTiming:
+    def test_longer_chain_has_longer_critical_path(self, technology):
+        short = estimate_timing(_chain_netlist(2), technology)
+        long = estimate_timing(_chain_netlist(10), technology)
+        assert long.critical_path_delay_ms > short.critical_path_delay_ms
+        assert long.logic_depth == 11  # 10 inverters + output buffer
+
+    def test_critical_path_gates_are_in_order(self, technology):
+        netlist = _chain_netlist(3)
+        report = estimate_timing(netlist, technology)
+        names = [gate.name for gate in netlist.topological_order()]
+        assert list(report.critical_path) == names
+
+    def test_sampling_period_from_technology(self, technology):
+        report = estimate_timing(_chain_netlist(1), technology)
+        assert report.sampling_period_ms == pytest.approx(50.0)  # 20 Hz
+
+    def test_slack_and_meets_timing(self, technology):
+        report = estimate_timing(_chain_netlist(1), technology)
+        assert report.meets_timing
+        assert report.slack_ms == pytest.approx(
+            report.sampling_period_ms - report.critical_path_delay_ms
+        )
+
+    def test_parallel_paths_pick_the_slowest(self, technology):
+        netlist = Netlist("parallel")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        slow = netlist.add_gate("INV", [a])
+        slow = netlist.add_gate("INV", [slow])
+        slow = netlist.add_gate("INV", [slow])
+        netlist.add_gate("AND2", [slow, b], output="y")
+        netlist.add_output("y")
+        report = estimate_timing(netlist, technology)
+        assert report.logic_depth == 4
+
+    def test_empty_netlist(self, technology):
+        report = estimate_timing(Netlist("empty"), technology)
+        assert report.critical_path_delay_ms == 0.0
+        assert report.logic_depth == 0
+        assert report.meets_timing
+
+    def test_unary_tree_meets_20hz_timing(self, small_tree, technology):
+        """The two-level unary logic easily fits the 50 ms sampling period."""
+        unary = UnaryDecisionTree(small_tree)
+        report = estimate_timing(unary.to_netlist(), technology)
+        assert report.meets_timing
+        assert report.logic_depth <= 8
+
+    def test_unary_tree_shallower_than_baseline(self, small_tree, technology):
+        """Removing comparators shortens the logic depth (two-level logic)."""
+        unary_report = estimate_timing(
+            UnaryDecisionTree(small_tree).to_netlist(), technology
+        )
+        baseline_report = estimate_timing(
+            build_comparator_tree_netlist(small_tree), technology
+        )
+        assert unary_report.logic_depth <= baseline_report.logic_depth
+        assert unary_report.critical_path_delay_ms <= baseline_report.critical_path_delay_ms

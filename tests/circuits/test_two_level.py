@@ -1,0 +1,135 @@
+"""Unit tests for the sum-of-products representation and minimizer."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.two_level import Literal, SumOfProducts
+
+
+def _a(positive=True):
+    return Literal("a", positive)
+
+
+def _b(positive=True):
+    return Literal("b", positive)
+
+
+def _c(positive=True):
+    return Literal("c", positive)
+
+
+def _truth_table(sop: SumOfProducts, variables):
+    return [
+        sop.evaluate(dict(zip(variables, bits)))
+        for bits in itertools.product((False, True), repeat=len(variables))
+    ]
+
+
+class TestLiteral:
+    def test_negate(self):
+        literal = _a()
+        assert literal.negate() == Literal("a", False)
+        assert literal.negate().negate() == literal
+
+    def test_evaluate(self):
+        assert _a().evaluate({"a": True}) is True
+        assert _a(False).evaluate({"a": True}) is False
+
+    def test_str(self):
+        assert str(_a()) == "a"
+        assert str(_a(False)) == "!a"
+
+
+class TestSumOfProductsBasics:
+    def test_constants(self):
+        assert SumOfProducts.false().is_false()
+        assert SumOfProducts.true().is_true()
+        assert SumOfProducts.false().evaluate({}) is False
+        assert SumOfProducts.true().evaluate({}) is True
+
+    def test_contradictory_term_dropped(self):
+        sop = SumOfProducts([[_a(), _a(False)]])
+        assert sop.is_false()
+
+    def test_add_term_and_counts(self):
+        sop = SumOfProducts()
+        sop.add_term([_a(), _b()])
+        sop.add_term([_a(False), _c()])
+        assert sop.n_terms == 2
+        assert sop.n_literals == 4
+        assert sop.variables() == {"a", "b", "c"}
+
+    def test_duplicate_terms_collapse(self):
+        sop = SumOfProducts([[_a(), _b()], [_b(), _a()]])
+        assert sop.n_terms == 1
+
+    def test_evaluate_and_or_semantics(self):
+        sop = SumOfProducts([[_a(), _b()], [_c()]])
+        assert sop.evaluate({"a": True, "b": True, "c": False}) is True
+        assert sop.evaluate({"a": True, "b": False, "c": False}) is False
+        assert sop.evaluate({"a": False, "b": False, "c": True}) is True
+
+    def test_string_rendering(self):
+        assert str(SumOfProducts.false()) == "0"
+        assert str(SumOfProducts.true()) == "1"
+        rendered = str(SumOfProducts([[_a(), _b(False)]]))
+        assert "a" in rendered and "!b" in rendered
+
+    def test_equality_and_hash(self):
+        first = SumOfProducts([[_a(), _b()]])
+        second = SumOfProducts([[_b(), _a()]])
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestMinimization:
+    def test_absorption_removes_superset_terms(self):
+        # a | (a & b)  ==  a
+        sop = SumOfProducts([[_a()], [_a(), _b()]])
+        minimized = sop.minimized()
+        assert minimized.n_terms == 1
+        assert minimized.terms[0] == frozenset({_a()})
+
+    def test_complementary_terms_merge(self):
+        # (a & b) | (a & !b)  ==  a
+        sop = SumOfProducts([[_a(), _b()], [_a(), _b(False)]])
+        minimized = sop.minimized()
+        assert minimized.n_terms == 1
+        assert minimized.terms[0] == frozenset({_a()})
+
+    def test_full_cover_minimizes_to_true(self):
+        # b | !b  ==  1
+        sop = SumOfProducts([[_b()], [_b(False)]])
+        assert sop.minimized().is_true()
+
+    def test_minimization_preserves_function(self):
+        variables = ["a", "b", "c"]
+        sop = SumOfProducts(
+            [
+                [_a(), _b(), _c()],
+                [_a(), _b(), _c(False)],
+                [_a(False), _c()],
+                [_b(), _c()],
+            ]
+        )
+        minimized = sop.minimized()
+        assert _truth_table(sop, variables) == _truth_table(minimized, variables)
+        assert minimized.n_literals <= sop.n_literals
+
+    def test_minimize_constant_functions(self):
+        assert SumOfProducts.false().minimized().is_false()
+        assert SumOfProducts.true().minimized().is_true()
+
+    def test_minimization_never_increases_cost(self):
+        sop = SumOfProducts(
+            [
+                [_a(), _b(False)],
+                [_a(), _c()],
+                [_a(), _b(False), _c()],
+                [_b(), _c(False)],
+            ]
+        )
+        minimized = sop.minimized()
+        assert minimized.n_terms <= sop.n_terms
+        assert minimized.n_literals <= sop.n_literals

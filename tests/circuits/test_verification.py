@@ -1,0 +1,73 @@
+"""Unit tests for netlist-vs-reference equivalence checking."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.verification import check_equivalence
+
+
+def _xor_netlist() -> Netlist:
+    netlist = Netlist("xor")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_gate("XOR2", [a, b], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+class TestCheckEquivalence:
+    def test_correct_circuit_passes_exhaustively(self):
+        result = check_equivalence(
+            _xor_netlist(), lambda inp: {"y": inp["a"] != inp["b"]}
+        )
+        assert result.equivalent
+        assert bool(result) is True
+        assert result.n_vectors == 4
+        assert result.mismatches == []
+
+    def test_wrong_reference_detected(self):
+        result = check_equivalence(
+            _xor_netlist(), lambda inp: {"y": inp["a"] and inp["b"]}
+        )
+        assert not result.equivalent
+        assert bool(result) is False
+        assert len(result.mismatches) >= 1
+
+    def test_random_sampling_above_exhaustive_limit(self):
+        netlist = Netlist("wide")
+        nets = [netlist.add_input(f"i{k}") for k in range(20)]
+        netlist.add_gate("OR4", nets[:4], output="y")
+        netlist.add_output("y")
+        result = check_equivalence(
+            netlist,
+            lambda inp: {"y": any(inp[f"i{k}"] for k in range(4))},
+            exhaustive_limit=8,
+            n_random_vectors=200,
+            seed=3,
+        )
+        assert result.equivalent
+        assert result.n_vectors == 200
+
+    def test_sampling_is_deterministic_per_seed(self):
+        netlist = Netlist("wide")
+        nets = [netlist.add_input(f"i{k}") for k in range(16)]
+        netlist.add_gate("AND4", nets[:4], output="y")
+        netlist.add_output("y")
+        reference = lambda inp: {"y": all(inp[f"i{k}"] for k in range(4))}
+        first = check_equivalence(netlist, reference, exhaustive_limit=4,
+                                  n_random_vectors=50, seed=11)
+        second = check_equivalence(netlist, reference, exhaustive_limit=4,
+                                   n_random_vectors=50, seed=11)
+        assert first.equivalent == second.equivalent
+        assert first.n_vectors == second.n_vectors
+
+    def test_mismatch_recording_is_capped(self):
+        netlist = Netlist("alwayswrong")
+        netlist.add_input("a")
+        netlist.add_constant(True, output="y")
+        netlist.add_output("y")
+        result = check_equivalence(
+            netlist, lambda inp: {"y": False}, max_recorded_mismatches=1
+        )
+        assert not result.equivalent
+        assert len(result.mismatches) == 1

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small datasets and shallow trees so the whole unit
+test suite stays fast; the heavier end-to-end runs live in
+``tests/test_integration.py`` and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_classification_blobs
+from repro.mltrees.cart import CARTTrainer
+from repro.mltrees.quantize import quantize_dataset
+from repro.mltrees.evaluation import train_test_split
+from repro.pdk.egfet import default_technology
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """Default calibrated EGFET technology."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, easy 3-class dataset (deterministic)."""
+    X, y = make_classification_blobs(
+        n_samples=240,
+        n_features=5,
+        n_classes=3,
+        class_sep=2.5,
+        noise_scale=0.8,
+        seed=7,
+    )
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    """Quantized 70/30 split of the small dataset."""
+    X, y = small_dataset
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.3, seed=1)
+    return (
+        quantize_dataset(X_train, 4),
+        quantize_dataset(X_test, 4),
+        y_train,
+        y_test,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_split):
+    """A depth-4 conventional tree trained on the small dataset."""
+    X_train_levels, _, y_train, _ = small_split
+    trainer = CARTTrainer(max_depth=4, resolution_bits=4, seed=3)
+    return trainer.fit(X_train_levels, y_train, n_classes=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_levels_dataset():
+    """A tiny hand-checkable quantized dataset (2 features, 2 classes)."""
+    X_levels = np.array(
+        [
+            [2, 10],
+            [3, 12],
+            [1, 9],
+            [4, 11],
+            [12, 2],
+            [13, 3],
+            [11, 1],
+            [14, 4],
+        ],
+        dtype=np.int64,
+    )
+    y = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+    return X_levels, y

@@ -1,0 +1,133 @@
+"""Unit/integration tests for the end-to-end co-design framework."""
+
+import pytest
+
+from repro.core.codesign import CoDesignFramework, CoDesignResult
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import make_classification_blobs
+
+
+@pytest.fixture(scope="module")
+def small_benchmark():
+    """A small but non-trivial benchmark dataset for the framework."""
+    X, y = make_classification_blobs(
+        n_samples=300, n_features=6, n_classes=3, class_sep=1.8,
+        noise_scale=1.0, label_noise=0.05, clusters_per_class=2, seed=21,
+    )
+    return Dataset(
+        name="toy_bench",
+        X=X,
+        y=y,
+        feature_names=[f"f{i}" for i in range(6)],
+        class_names=["a", "b", "c"],
+        metadata={"abbreviation": "TB"},
+    )
+
+
+@pytest.fixture(scope="module")
+def framework(technology):
+    return CoDesignFramework(
+        technology=technology,
+        max_baseline_depth=4,
+        depths=(2, 3, 4),
+        taus=(0.0, 0.01, 0.03),
+        accuracy_losses=(0.0, 0.01, 0.05),
+        seed=0,
+        include_approximate_baseline=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(framework, small_benchmark):
+    return framework.run(small_benchmark)
+
+
+class TestCoDesignRun:
+    def test_result_structure(self, result):
+        assert isinstance(result, CoDesignResult)
+        assert result.dataset == "toy_bench"
+        assert result.baseline.hardware.n_tree_comparators > 0
+        assert result.unary_bespoke_adc.hardware.n_tree_comparators == 0
+        assert len(result.exploration) == 9
+        assert result.approximate_baseline is not None
+
+    def test_baseline_and_unary_share_model_accuracy(self, result):
+        assert result.baseline.accuracy == pytest.approx(
+            result.unary_bespoke_adc.accuracy
+        )
+        assert result.baseline.depth == result.unary_bespoke_adc.depth
+
+    def test_fig4_gains_positive(self, result):
+        reduction = result.fig4_reduction()
+        assert reduction.area_factor > 1.0
+        assert reduction.power_factor > 1.0
+
+    def test_selected_designs_meet_their_accuracy_constraints(self, result):
+        for loss, design in result.selected.items():
+            assert design.accuracy >= result.baseline.accuracy - loss - 1e-9
+
+    def test_selected_designs_monotone_in_loss_budget(self, result):
+        losses = sorted(result.selected)
+        powers = [result.selected[loss].hardware.total_power_uw for loss in losses]
+        assert all(b <= a + 1e-9 for a, b in zip(powers, powers[1:]))
+
+    def test_table2_reduction_vs_baseline(self, result):
+        reduction = result.table2_reduction(0.01)
+        assert reduction is not None
+        assert reduction.area_factor > 1.0
+        assert reduction.power_factor > 1.0
+
+    def test_table2_reduction_vs_approximate(self, result):
+        reduction = result.table2_reduction_vs_approximate(0.01)
+        assert reduction is not None
+        assert reduction.power_factor > 0.0
+
+    def test_self_power_analysis_available(self, result):
+        analysis = result.self_power(0.01)
+        assert analysis is not None
+        assert analysis.sensor_power_mw > 0
+        assert analysis.harvester_budget_mw == pytest.approx(2.0)
+
+    def test_missing_loss_threshold_returns_none(self, result):
+        assert result.fig5_reduction(0.42) is None
+        assert result.table2_reduction(0.42) is None
+        assert result.self_power(0.42) is None
+
+    def test_metadata_carries_technology_and_abbreviation(self, result, technology):
+        assert result.metadata["technology"] is technology
+        assert result.metadata["abbreviation"] == "TB"
+
+
+class TestFrameworkConfiguration:
+    def test_prepare_quantizes_and_splits(self, framework, small_benchmark):
+        X_train, X_test, y_train, y_test = framework.prepare(small_benchmark)
+        assert X_train.max() <= 15 and X_train.min() >= 0
+        assert len(X_train) + len(X_test) == small_benchmark.n_samples
+        assert len(y_test) == len(X_test)
+
+    def test_approximate_baseline_can_be_skipped(self, technology, small_benchmark):
+        framework = CoDesignFramework(
+            technology=technology, depths=(2,), taus=(0.0,), seed=0,
+            include_approximate_baseline=False,
+        )
+        result = framework.run(small_benchmark)
+        assert result.approximate_baseline is None
+        assert result.table2_reduction_vs_approximate(0.01) is None
+
+    def test_runs_are_reproducible(self, technology, small_benchmark):
+        def run_once():
+            framework = CoDesignFramework(
+                technology=technology, depths=(2, 3), taus=(0.0, 0.02), seed=7,
+                include_approximate_baseline=False,
+            )
+            return framework.run(small_benchmark)
+
+        first, second = run_once(), run_once()
+        assert first.baseline.accuracy == pytest.approx(second.baseline.accuracy)
+        assert first.baseline.hardware.total_area_mm2 == pytest.approx(
+            second.baseline.hardware.total_area_mm2
+        )
+        for loss in first.selected:
+            assert first.selected[loss].hardware.total_power_uw == pytest.approx(
+                second.selected[loss].hardware.total_power_uw
+            )

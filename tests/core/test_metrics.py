@@ -1,0 +1,84 @@
+"""Unit tests for hardware reports and reduction arithmetic."""
+
+import pytest
+
+from repro.core.metrics import (
+    ClassifierDesign,
+    HardwareReport,
+    compare_designs,
+    reduction_factor,
+    reduction_percent,
+)
+
+
+def _report(name="x", adc_area=10.0, adc_power=500.0, dig_area=5.0, dig_power=100.0):
+    return HardwareReport(
+        name=name,
+        adc_area_mm2=adc_area,
+        adc_power_uw=adc_power,
+        digital_area_mm2=dig_area,
+        digital_power_uw=dig_power,
+        n_inputs=3,
+        n_tree_comparators=7,
+        n_adc_comparators=12,
+    )
+
+
+class TestHardwareReport:
+    def test_totals(self):
+        report = _report()
+        assert report.total_area_mm2 == pytest.approx(15.0)
+        assert report.total_power_uw == pytest.approx(600.0)
+        assert report.total_power_mw == pytest.approx(0.6)
+        assert report.adc_power_mw == pytest.approx(0.5)
+        assert report.digital_power_mw == pytest.approx(0.1)
+
+    def test_fractions(self):
+        report = _report()
+        assert report.adc_area_fraction == pytest.approx(10.0 / 15.0)
+        assert report.adc_power_fraction == pytest.approx(500.0 / 600.0)
+
+    def test_fractions_of_zero_cost_design(self):
+        report = _report(adc_area=0.0, adc_power=0.0, dig_area=0.0, dig_power=0.0)
+        assert report.adc_area_fraction == 0.0
+        assert report.adc_power_fraction == 0.0
+
+
+class TestReductions:
+    def test_reduction_factor(self):
+        assert reduction_factor(10.0, 2.0) == pytest.approx(5.0)
+        assert reduction_factor(10.0, 0.0) == float("inf")
+
+    def test_reduction_percent(self):
+        assert reduction_percent(10.0, 2.0) == pytest.approx(80.0)
+        assert reduction_percent(0.0, 2.0) == 0.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_factor(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            reduction_percent(1.0, -2.0)
+
+    def test_compare_designs(self):
+        baseline = _report("baseline", adc_area=20.0, adc_power=1000.0,
+                           dig_area=10.0, dig_power=500.0)
+        proposed = _report("proposed", adc_area=2.0, adc_power=100.0,
+                           dig_area=1.0, dig_power=50.0)
+        report = compare_designs(baseline, proposed)
+        assert report.area_factor == pytest.approx(10.0)
+        assert report.power_factor == pytest.approx(10.0)
+        assert report.area_percent == pytest.approx(90.0)
+        assert report.power_percent == pytest.approx(90.0)
+        assert report.reference == "baseline"
+        assert report.proposed == "proposed"
+
+
+class TestClassifierDesign:
+    def test_fields(self):
+        design = ClassifierDesign(
+            name="demo", dataset="seeds", accuracy=0.9, hardware=_report(),
+            depth=4, tau=0.01,
+        )
+        assert design.accuracy == pytest.approx(0.9)
+        assert design.hardware.total_area_mm2 == pytest.approx(15.0)
+        assert design.extra == {}

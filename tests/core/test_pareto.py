@@ -1,0 +1,83 @@
+"""Unit tests for the Pareto-front utilities."""
+
+import pytest
+
+from repro.core.exploration import DesignPoint, DesignSpaceExplorer
+from repro.core.metrics import HardwareReport
+from repro.core.pareto import accuracy_area_front, accuracy_power_front, pareto_front
+
+
+def _point(accuracy, power_uw, area_mm2=1.0):
+    hardware = HardwareReport(
+        name=f"p{accuracy}-{power_uw}",
+        adc_area_mm2=area_mm2 / 2,
+        adc_power_uw=power_uw / 2,
+        digital_area_mm2=area_mm2 / 2,
+        digital_power_uw=power_uw / 2,
+        n_inputs=2,
+        n_tree_comparators=0,
+        n_adc_comparators=3,
+    )
+    return DesignPoint(
+        dataset="toy", depth=2, tau=0.0, accuracy=accuracy, hardware=hardware,
+        tree=None,  # type: ignore[arg-type]
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            _point(0.90, 100.0),
+            _point(0.85, 200.0),   # dominated: worse accuracy AND more power
+            _point(0.95, 300.0),
+            _point(0.80, 50.0),
+        ]
+        front = accuracy_power_front(points)
+        accuracies = {p.accuracy for p in front}
+        assert 0.85 not in accuracies
+        assert {0.80, 0.90, 0.95} <= accuracies
+
+    def test_front_sorted_by_minimized_objective(self):
+        points = [_point(0.9, 300.0), _point(0.7, 100.0), _point(0.95, 500.0)]
+        front = accuracy_power_front(points)
+        powers = [p.hardware.total_power_uw for p in front]
+        assert powers == sorted(powers)
+
+    def test_single_point_is_its_own_front(self):
+        points = [_point(0.5, 10.0)]
+        assert accuracy_power_front(points) == points
+
+    def test_identical_points_deduplicated(self):
+        points = [_point(0.9, 100.0), _point(0.9, 100.0)]
+        assert len(accuracy_power_front(points)) == 1
+
+    def test_all_points_on_front_when_tradeoff_is_strict(self):
+        points = [_point(0.6, 60.0), _point(0.7, 70.0), _point(0.8, 80.0)]
+        assert len(accuracy_power_front(points)) == 3
+
+    def test_area_front_uses_area_objective(self):
+        cheap_area = _point(0.8, 500.0, area_mm2=1.0)
+        small_power = _point(0.8, 100.0, area_mm2=5.0)
+        area_front = accuracy_area_front([cheap_area, small_power])
+        power_front = accuracy_power_front([cheap_area, small_power])
+        assert cheap_area in area_front
+        assert small_power in power_front
+
+    def test_generic_pareto_front_with_custom_objectives(self):
+        items = [(1, 10), (2, 5), (3, 20), (0, 1)]
+        front = pareto_front(
+            items, maximize=lambda t: t[0], minimize=lambda t: t[1]
+        )
+        assert (3, 20) in front and (2, 5) in front and (0, 1) in front
+        assert (1, 10) not in front
+
+    def test_front_of_real_exploration_is_nonempty(self, small_split, technology):
+        X_train, X_test, y_train, y_test = small_split
+        explorer = DesignSpaceExplorer(
+            technology=technology, depths=(2, 3), taus=(0.0, 0.02), seed=0
+        )
+        points = explorer.explore(X_train, y_train, X_test, y_test, 3, "small")
+        front = accuracy_power_front(points)
+        assert 1 <= len(front) <= len(points)
+        best_accuracy = max(p.accuracy for p in points)
+        assert any(p.accuracy == pytest.approx(best_accuracy) for p in front)

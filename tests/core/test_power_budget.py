@@ -1,0 +1,61 @@
+"""Unit tests for the self-power feasibility analysis."""
+
+import pytest
+
+from repro.core.metrics import HardwareReport
+from repro.core.power_budget import analyze_self_power
+from repro.pdk.egfet import EGFETTechnology
+from repro.pdk.harvester import PrintedEnergyHarvester
+
+
+def _report(total_power_uw: float, n_inputs: int = 5) -> HardwareReport:
+    return HardwareReport(
+        name="design",
+        adc_area_mm2=1.0,
+        adc_power_uw=total_power_uw * 0.7,
+        digital_area_mm2=1.0,
+        digital_power_uw=total_power_uw * 0.3,
+        n_inputs=n_inputs,
+        n_tree_comparators=0,
+        n_adc_comparators=n_inputs,
+    )
+
+
+class TestAnalyzeSelfPower:
+    def test_sensor_power_one_per_used_input(self, technology):
+        analysis = analyze_self_power(_report(500.0, n_inputs=11), technology)
+        assert analysis.sensor_power_mw == pytest.approx(0.055)
+
+    def test_feasible_design(self, technology):
+        analysis = analyze_self_power(_report(800.0), technology)
+        assert analysis.is_self_powered
+        assert analysis.headroom_mw > 0
+        assert 0 < analysis.utilization < 1
+
+    def test_infeasible_design(self, technology):
+        analysis = analyze_self_power(_report(2500.0), technology)
+        assert not analysis.is_self_powered
+        assert analysis.headroom_mw < 0
+        assert analysis.utilization > 1
+
+    def test_boundary_includes_sensors(self, technology):
+        """A classifier at exactly 2 mW fails once sensors are added."""
+        analysis = analyze_self_power(_report(2000.0, n_inputs=4), technology)
+        assert analysis.classifier_power_mw == pytest.approx(2.0)
+        assert not analysis.is_self_powered
+
+    def test_total_power_composition(self, technology):
+        analysis = analyze_self_power(_report(1000.0, n_inputs=2), technology)
+        assert analysis.total_power_mw == pytest.approx(
+            analysis.classifier_power_mw + analysis.sensor_power_mw
+        )
+
+    def test_custom_harvester_budget(self):
+        technology = EGFETTechnology(harvester=PrintedEnergyHarvester(budget_mw=5.0))
+        analysis = analyze_self_power(_report(2500.0), technology)
+        assert analysis.harvester_budget_mw == pytest.approx(5.0)
+        assert analysis.is_self_powered
+
+    def test_default_technology_used_when_omitted(self):
+        analysis = analyze_self_power(_report(100.0))
+        assert analysis.harvester_budget_mw == pytest.approx(2.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the Dataset container and normalization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.normalize import MinMaxNormalizer, normalize_unit_range
+
+
+def _valid_dataset(**overrides):
+    defaults = dict(
+        name="demo",
+        X=np.array([[0.1, 0.9], [0.5, 0.2]]),
+        y=np.array([0, 1]),
+        feature_names=["a", "b"],
+        class_names=["neg", "pos"],
+    )
+    defaults.update(overrides)
+    return Dataset(**defaults)
+
+
+class TestDataset:
+    def test_properties(self):
+        dataset = _valid_dataset()
+        assert dataset.n_samples == 2
+        assert dataset.n_features == 2
+        assert dataset.n_classes == 2
+        np.testing.assert_array_equal(dataset.class_distribution(), [1, 1])
+
+    def test_rejects_unnormalized_features(self):
+        with pytest.raises(ValueError):
+            _valid_dataset(X=np.array([[0.1, 3.0], [0.5, 0.2]]))
+
+    def test_rejects_shape_mismatches(self):
+        with pytest.raises(ValueError):
+            _valid_dataset(y=np.array([0, 1, 1]))
+        with pytest.raises(ValueError):
+            _valid_dataset(feature_names=["only_one"])
+        with pytest.raises(ValueError):
+            _valid_dataset(class_names=["only_one"])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            _valid_dataset(y=np.array([0, -1]))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            _valid_dataset(X=np.array([0.1, 0.2]))
+
+
+class TestMinMaxNormalizer:
+    def test_fit_transform_range(self):
+        X = np.array([[1.0, 100.0], [3.0, 300.0], [2.0, 200.0]])
+        scaled = MinMaxNormalizer().fit_transform(X)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+        np.testing.assert_allclose(scaled[2], [0.5, 0.5])
+
+    def test_transform_clips_out_of_range(self):
+        normalizer = MinMaxNormalizer().fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(
+            normalizer.transform(np.array([[-5.0], [15.0]])), [[0.0], [1.0]]
+        )
+
+    def test_constant_feature_handled(self):
+        X = np.array([[2.0, 1.0], [2.0, 3.0]])
+        scaled = MinMaxNormalizer().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_allclose(scaled[:, 0], [0.0, 0.0])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform(np.zeros((2, 2)))
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.array([1.0, 2.0]))
+
+    def test_one_shot_helper(self):
+        X = np.array([[5.0], [10.0]])
+        np.testing.assert_allclose(normalize_unit_range(X), [[0.0], [1.0]])

@@ -1,0 +1,125 @@
+"""Unit tests for the dataset registry and the eight benchmark loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.balance_scale import load_balance_scale
+from repro.datasets.registry import (
+    DATASET_ABBREVIATIONS,
+    dataset_names,
+    load_csv,
+    load_dataset,
+    paper_reference,
+)
+
+EXPECTED_SHAPES = {
+    "whitewine": (4898, 11, 7),
+    "cardio": (2126, 21, 3),
+    "arrhythmia": (452, 32, 13),
+    "balance_scale": (625, 4, 3),
+    "vertebral_3c": (310, 6, 3),
+    "seeds": (210, 7, 3),
+    "vertebral_2c": (310, 6, 2),
+    "pendigits": (7494, 16, 10),
+}
+
+
+class TestRegistry:
+    def test_eight_benchmarks_in_paper_order(self):
+        assert dataset_names() == list(EXPECTED_SHAPES)
+
+    def test_abbreviations_cover_all_datasets(self):
+        assert set(DATASET_ABBREVIATIONS) == set(dataset_names())
+        assert set(DATASET_ABBREVIATIONS.values()) == {
+            "WW", "CA", "AR", "BS", "V3", "SE", "V2", "PD"
+        }
+
+    def test_load_by_abbreviation_and_case_insensitivity(self):
+        assert load_dataset("SE").name == "seeds"
+        assert load_dataset("Seeds").name == "seeds"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_paper_reference_available_for_all(self):
+        for name in dataset_names():
+            reference = paper_reference(name)
+            assert 0.0 < reference["accuracy"] <= 1.0
+            assert reference["total_power_mw"] > 2.0  # none self-powered in Table I
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_SHAPES))
+class TestLoaders:
+    def test_shape_matches_original_dataset(self, name):
+        dataset = load_dataset(name)
+        n_samples, n_features, n_classes = EXPECTED_SHAPES[name]
+        assert dataset.n_samples == n_samples
+        assert dataset.n_features == n_features
+        assert dataset.n_classes == n_classes
+
+    def test_normalized_features_and_valid_labels(self, name):
+        dataset = load_dataset(name)
+        assert dataset.X.min() >= 0.0
+        assert dataset.X.max() <= 1.0
+        assert dataset.y.min() >= 0
+        assert dataset.y.max() < dataset.n_classes
+
+    def test_deterministic(self, name):
+        first = load_dataset(name, seed=0)
+        second = load_dataset(name, seed=0)
+        np.testing.assert_array_equal(first.X, second.X)
+        np.testing.assert_array_equal(first.y, second.y)
+
+    def test_metadata_present(self, name):
+        dataset = load_dataset(name)
+        assert dataset.metadata["abbreviation"] == DATASET_ABBREVIATIONS[name]
+        assert "paper_baseline_accuracy" in dataset.metadata
+
+
+class TestBalanceScaleExactness:
+    def test_balance_scale_is_complete_factorial(self):
+        dataset = load_balance_scale()
+        distinct_rows = {tuple(row) for row in dataset.X}
+        assert len(distinct_rows) == 625
+
+    def test_balance_scale_rule(self):
+        dataset = load_balance_scale()
+        raw = dataset.X * 4.0 + 1.0  # undo normalization back to 1..5
+        lw, ld, rw, rd = raw.T
+        left_torque = lw * ld
+        right_torque = rw * rd
+        expected = np.where(
+            left_torque > right_torque, 0, np.where(left_torque == right_torque, 1, 2)
+        )
+        np.testing.assert_array_equal(dataset.y, expected)
+
+    def test_class_distribution_matches_uci(self):
+        """The real dataset has 288 'L', 49 'B', 288 'R'."""
+        dataset = load_balance_scale()
+        np.testing.assert_array_equal(dataset.class_distribution(), [288, 49, 288])
+
+
+class TestCsvLoader:
+    def test_roundtrip_through_csv(self, tmp_path):
+        path = tmp_path / "demo.csv"
+        rows = ["1.0,10.0,0", "2.0,20.0,1", "3.0,30.0,1", "4.0,40.0,0"]
+        path.write_text("\n".join(rows) + "\n")
+        dataset = load_csv(str(path))
+        assert dataset.n_samples == 4
+        assert dataset.n_features == 2
+        assert dataset.n_classes == 2
+        assert dataset.X.min() >= 0.0 and dataset.X.max() <= 1.0
+
+    def test_label_column_selection(self, tmp_path):
+        path = tmp_path / "firstcol.csv"
+        path.write_text("0,1.0,2.0\n1,3.0,4.0\n")
+        dataset = load_csv(str(path), label_column=0)
+        assert dataset.n_features == 2
+        np.testing.assert_array_equal(dataset.y, [0, 1])
+
+    def test_missing_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,,0\n2.0,3.0,1\n")
+        with pytest.raises(ValueError, match="missing"):
+            load_csv(str(path))

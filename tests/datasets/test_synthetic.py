@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_classification_blobs, make_ordinal_dataset
+
+
+class TestMakeClassificationBlobs:
+    def test_shapes_and_ranges(self):
+        X, y = make_classification_blobs(120, 6, 3, seed=0)
+        assert X.shape == (120, 6)
+        assert y.shape == (120,)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_deterministic_per_seed(self):
+        first = make_classification_blobs(80, 4, 2, seed=9)
+        second = make_classification_blobs(80, 4, 2, seed=9)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_different_seeds_differ(self):
+        first = make_classification_blobs(80, 4, 2, seed=1)
+        second = make_classification_blobs(80, 4, 2, seed=2)
+        assert not np.array_equal(first[0], second[0])
+
+    def test_class_weights_respected(self):
+        _, y = make_classification_blobs(
+            2000, 3, 2, class_weights=[0.9, 0.1], seed=0
+        )
+        assert 0.85 <= np.mean(y == 0) <= 0.95
+
+    def test_separation_controls_difficulty(self):
+        """Larger class_sep must make a nearest-centroid rule more accurate."""
+        def centroid_accuracy(sep):
+            X, y = make_classification_blobs(
+                600, 4, 3, class_sep=sep, noise_scale=1.0, seed=3
+            )
+            centroids = np.stack([X[y == c].mean(axis=0) for c in range(3)])
+            distances = np.linalg.norm(X[:, None, :] - centroids[None], axis=2)
+            return np.mean(np.argmin(distances, axis=1) == y)
+
+        assert centroid_accuracy(4.0) > centroid_accuracy(0.5) + 0.1
+
+    def test_label_noise_reduces_purity(self):
+        X, y_clean = make_classification_blobs(500, 4, 3, label_noise=0.0, seed=4)
+        _, y_noisy = make_classification_blobs(500, 4, 3, label_noise=0.3, seed=4)
+        assert np.mean(y_clean != y_noisy) > 0.1
+
+    def test_multicluster_classes(self):
+        X, y = make_classification_blobs(
+            300, 5, 3, clusters_per_class=3, seed=0
+        )
+        assert X.shape == (300, 5)
+        assert len(np.unique(y)) == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_classification_blobs(10, 3, 1)
+        with pytest.raises(ValueError):
+            make_classification_blobs(10, 0, 2)
+        with pytest.raises(ValueError):
+            make_classification_blobs(10, 3, 2, clusters_per_class=0)
+        with pytest.raises(ValueError):
+            make_classification_blobs(10, 3, 2, class_weights=[1.0])
+
+
+class TestMakeOrdinalDataset:
+    def test_shapes_and_ranges(self):
+        X, y = make_ordinal_dataset(300, 8, 5, seed=0)
+        assert X.shape == (300, 8)
+        assert y.min() >= 0 and y.max() <= 4
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        first = make_ordinal_dataset(100, 5, 4, seed=6)
+        second = make_ordinal_dataset(100, 5, 4, seed=6)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_concentration_makes_distribution_imbalanced(self):
+        _, y_flat = make_ordinal_dataset(
+            3000, 6, 7, class_balance_temperature=0.0, seed=1
+        )
+        _, y_peaked = make_ordinal_dataset(
+            3000, 6, 7, class_balance_temperature=1.0, class_concentration=9.0, seed=1
+        )
+        flat_max = np.bincount(y_flat, minlength=7).max() / len(y_flat)
+        peaked_max = np.bincount(y_peaked, minlength=7).max() / len(y_peaked)
+        assert peaked_max > flat_max + 0.15
+
+    def test_labels_follow_latent_score_ordering(self):
+        """Higher-labelled samples should have a larger mean latent direction."""
+        X, y = make_ordinal_dataset(
+            2000, 4, 4, noise_scale=0.1, class_balance_temperature=0.0, seed=2
+        )
+        means = [X[y == c].mean() for c in range(4) if np.any(y == c)]
+        correlations = np.corrcoef(np.arange(len(means)), means)[0, 1]
+        assert abs(correlations) > 0.7
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_ordinal_dataset(10, 3, 1)
+        with pytest.raises(ValueError):
+            make_ordinal_dataset(10, 3, 3, class_concentration=0.0)

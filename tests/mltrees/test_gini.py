@@ -1,0 +1,56 @@
+"""Unit tests for Gini impurity utilities."""
+
+import pytest
+
+from repro.mltrees.gini import gini_impurity, weighted_gini
+
+
+class TestGiniImpurity:
+    def test_pure_node_is_zero(self):
+        assert gini_impurity([10, 0, 0]) == pytest.approx(0.0)
+        assert gini_impurity([0, 0, 7]) == pytest.approx(0.0)
+
+    def test_balanced_binary_node(self):
+        assert gini_impurity([5, 5]) == pytest.approx(0.5)
+
+    def test_balanced_multiclass_node(self):
+        assert gini_impurity([3, 3, 3]) == pytest.approx(2 / 3)
+
+    def test_empty_node_is_zero_by_convention(self):
+        assert gini_impurity([0, 0]) == pytest.approx(0.0)
+
+    def test_bounds(self):
+        assert 0.0 <= gini_impurity([7, 2, 1]) < 1.0
+
+    def test_scale_invariance(self):
+        assert gini_impurity([2, 6]) == pytest.approx(gini_impurity([20, 60]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            gini_impurity([-1, 3])
+
+    def test_known_value(self):
+        # p = (0.25, 0.75) -> 1 - (0.0625 + 0.5625) = 0.375
+        assert gini_impurity([1, 3]) == pytest.approx(0.375)
+
+
+class TestWeightedGini:
+    def test_perfect_split_is_zero(self):
+        assert weighted_gini([5, 0], [0, 5]) == pytest.approx(0.0)
+
+    def test_useless_split_keeps_parent_impurity(self):
+        assert weighted_gini([2, 2], [3, 3]) == pytest.approx(0.5)
+
+    def test_weighting_by_child_sizes(self):
+        # left: 8 samples pure, right: 2 samples balanced
+        expected = (8 * 0.0 + 2 * 0.5) / 10
+        assert weighted_gini([8, 0], [1, 1]) == pytest.approx(expected)
+
+    def test_empty_split_is_zero(self):
+        assert weighted_gini([0, 0], [0, 0]) == pytest.approx(0.0)
+
+    def test_weighted_gini_bounded_by_worst_child(self):
+        value = weighted_gini([3, 1], [1, 4])
+        assert 0.0 <= value <= max(
+            gini_impurity([3, 1]), gini_impurity([1, 4])
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for quantization and evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.mltrees.evaluation import accuracy_score, confusion_matrix, train_test_split
+from repro.mltrees.quantize import level_to_value, quantization_error, quantize_dataset
+
+
+class TestQuantizeDataset:
+    def test_levels_in_range(self):
+        X = np.random.default_rng(0).random((50, 4))
+        levels = quantize_dataset(X, 4)
+        assert levels.min() >= 0
+        assert levels.max() <= 15
+        assert levels.dtype.kind == "i"
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            quantize_dataset(np.array([0.1, 0.2]), 4)
+
+    def test_grid_points_exact(self):
+        X = np.array([[0.0, 0.5, 1.0]])
+        np.testing.assert_array_equal(quantize_dataset(X, 4), [[0, 8, 15]])
+
+    def test_level_to_value(self):
+        assert level_to_value(8, 4) == pytest.approx(0.5)
+        assert level_to_value(1, 2) == pytest.approx(0.25)
+
+    def test_quantization_error_decreases_with_resolution(self):
+        X = np.random.default_rng(1).random((200, 3))
+        errors = [quantization_error(X, bits) for bits in (1, 2, 4, 6)]
+        assert all(b < a for a, b in zip(errors, errors[1:]))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0])) == 0.75
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([0, 1]), np.array([0]))
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2]), 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(matrix, expected)
+        assert matrix.sum() == 4
+
+
+class TestTrainTestSplit:
+    @pytest.fixture
+    def data(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((200, 3))
+        y = np.repeat(np.arange(4), 50)
+        return X, y
+
+    def test_sizes(self, data):
+        X, y = data
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.3, seed=0)
+        assert len(X_train) + len(X_test) == 200
+        assert len(X_train) == len(y_train)
+        assert abs(len(X_test) - 60) <= 4
+
+    def test_stratification_preserves_class_balance(self, data):
+        X, y = data
+        _, _, y_train, y_test = train_test_split(X, y, 0.3, seed=0)
+        for label in range(4):
+            assert abs(np.sum(y_test == label) - 15) <= 2
+            assert abs(np.sum(y_train == label) - 35) <= 2
+
+    def test_reproducible(self, data):
+        X, y = data
+        first = train_test_split(X, y, 0.3, seed=42)
+        second = train_test_split(X, y, 0.3, seed=42)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[3], second[3])
+
+    def test_different_seeds_differ(self, data):
+        X, y = data
+        first = train_test_split(X, y, 0.3, seed=1)
+        second = train_test_split(X, y, 0.3, seed=2)
+        assert not np.array_equal(first[0], second[0])
+
+    def test_no_sample_duplicated_or_lost(self, data):
+        X, y = data
+        X_train, X_test, _, _ = train_test_split(X, y, 0.3, seed=5)
+        combined = np.vstack([X_train, X_test])
+        assert combined.shape == X.shape
+        # every original row appears exactly once
+        original = {tuple(row) for row in np.round(X, 12)}
+        recovered = {tuple(row) for row in np.round(combined, 12)}
+        assert original == recovered
+
+    def test_unstratified_split(self, data):
+        X, y = data
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, 0.25, seed=0, stratify=False
+        )
+        assert len(X_test) == 50
+        assert len(y_train) == 150
+
+    def test_invalid_test_size(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 1.0)
+
+    def test_length_mismatch(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            train_test_split(X, y[:-1], 0.3)

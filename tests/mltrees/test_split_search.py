@@ -1,0 +1,93 @@
+"""Unit tests for the vectorized candidate-split enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.mltrees.gini import weighted_gini
+from repro.mltrees.split_search import (
+    best_gini,
+    class_histogram,
+    enumerate_split_candidates,
+)
+
+
+def _brute_force_gini(X_levels, y, indices, feature, threshold, n_classes):
+    values = X_levels[indices, feature]
+    labels = y[indices]
+    left = labels[values < threshold]
+    right = labels[values >= threshold]
+    left_counts = np.bincount(left, minlength=n_classes)
+    right_counts = np.bincount(right, minlength=n_classes)
+    return weighted_gini(left_counts, right_counts)
+
+
+class TestClassHistogram:
+    def test_counts(self):
+        y = np.array([0, 2, 2, 1, 0, 0])
+        np.testing.assert_array_equal(class_histogram(y, 4), [3, 1, 2, 0])
+
+
+class TestEnumerateSplitCandidates:
+    def test_empty_node(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        assert enumerate_split_candidates(
+            X_levels, y, np.array([], dtype=int), 2, 16
+        ) == []
+
+    def test_only_separating_thresholds_reported(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        indices = np.arange(len(y))
+        candidates = enumerate_split_candidates(X_levels, y, indices, 2, 16)
+        for candidate in candidates:
+            assert candidate.n_left > 0
+            assert candidate.n_right > 0
+            assert candidate.n_left + candidate.n_right == len(y)
+
+    def test_gini_matches_brute_force(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        indices = np.arange(len(y))
+        candidates = enumerate_split_candidates(X_levels, y, indices, 2, 16)
+        assert candidates, "the tiny dataset must produce candidates"
+        for candidate in candidates:
+            expected = _brute_force_gini(
+                X_levels, y, indices, candidate.feature, candidate.threshold_level, 2
+            )
+            assert candidate.gini == pytest.approx(expected)
+
+    def test_perfectly_separable_feature_reaches_zero_gini(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        indices = np.arange(len(y))
+        candidates = enumerate_split_candidates(X_levels, y, indices, 2, 16)
+        assert best_gini(candidates) == pytest.approx(0.0)
+
+    def test_min_samples_leaf_filters_candidates(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        indices = np.arange(len(y))
+        all_candidates = enumerate_split_candidates(X_levels, y, indices, 2, 16, 1)
+        strict = enumerate_split_candidates(X_levels, y, indices, 2, 16, 3)
+        assert len(strict) < len(all_candidates)
+        for candidate in strict:
+            assert candidate.n_left >= 3
+            assert candidate.n_right >= 3
+
+    def test_subset_of_node_indices_respected(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        subset = np.array([0, 1, 4, 5])
+        candidates = enumerate_split_candidates(X_levels, y, subset, 2, 16)
+        for candidate in candidates:
+            assert candidate.n_left + candidate.n_right == len(subset)
+
+    def test_candidates_on_random_data_match_brute_force(self):
+        rng = np.random.default_rng(5)
+        X_levels = rng.integers(0, 16, size=(60, 3))
+        y = rng.integers(0, 3, size=60)
+        indices = np.arange(60)
+        candidates = enumerate_split_candidates(X_levels, y, indices, 3, 16)
+        for candidate in candidates[::7]:
+            expected = _brute_force_gini(
+                X_levels, y, indices, candidate.feature, candidate.threshold_level, 3
+            )
+            assert candidate.gini == pytest.approx(expected)
+
+    def test_best_gini_of_empty_list_is_infinite(self):
+        assert best_gini([]) == float("inf")

@@ -1,0 +1,51 @@
+"""Unit tests for the analog comparator model."""
+
+import pytest
+
+from repro.pdk.comparator import AnalogComparatorModel
+
+
+class TestAnalogComparatorModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AnalogComparatorModel()
+
+    def test_power_increases_with_reference_level(self, model):
+        powers = [model.power_uw(level) for level in range(1, 16)]
+        assert all(later > earlier for earlier, later in zip(powers, powers[1:]))
+
+    def test_power_is_affine_in_level(self, model):
+        deltas = [
+            model.power_uw(level + 1) - model.power_uw(level) for level in range(1, 15)
+        ]
+        assert all(delta == pytest.approx(deltas[0]) for delta in deltas)
+
+    def test_level_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.power_uw(0)
+
+    def test_bank_power_is_sum_of_members(self, model):
+        levels = [1, 2, 4, 7]
+        assert model.bank_power_uw(levels) == pytest.approx(
+            sum(model.power_uw(k) for k in levels)
+        )
+
+    def test_bank_area_scales_linearly(self, model):
+        assert model.bank_area_mm2(4) == pytest.approx(4 * model.area_mm2)
+        assert model.bank_area_mm2(0) == 0.0
+
+    def test_bank_area_rejects_negative_count(self, model):
+        with pytest.raises(ValueError):
+            model.bank_area_mm2(-1)
+
+    def test_low_levels_cheaper_than_high_levels(self, model):
+        """The key property the ADC-aware training exploits (Section III-B)."""
+        low_bank = model.bank_power_uw([1, 2, 3, 4])
+        high_bank = model.bank_power_uw([12, 13, 14, 15])
+        assert high_bank > 2 * low_bank
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AnalogComparatorModel(area_mm2=0.0)
+        with pytest.raises(ValueError):
+            AnalogComparatorModel(power_base_uw=-1.0)

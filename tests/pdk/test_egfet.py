@@ -1,0 +1,55 @@
+"""Unit tests for the EGFET technology container."""
+
+import pytest
+
+from repro.pdk.egfet import EGFETTechnology, default_technology
+
+
+class TestEGFETTechnology:
+    def test_default_operating_point(self, technology):
+        assert technology.vdd == pytest.approx(1.0)
+        assert technology.frequency_hz == pytest.approx(20.0)
+        assert technology.resolution_bits == 4
+
+    def test_default_is_a_fresh_but_equivalent_instance(self):
+        a = default_technology()
+        b = default_technology()
+        assert a.vdd == b.vdd
+        assert a.cell_library.names() == b.cell_library.names()
+
+    def test_ladder_for_same_resolution_returns_default_ladder(self, technology):
+        assert technology.ladder_for(4) is technology.ladder
+
+    def test_ladder_for_other_resolution_preserves_physics(self, technology):
+        ladder3 = technology.ladder_for(3)
+        assert ladder3.resolution_bits == 3
+        assert ladder3.segment_area_mm2 == pytest.approx(
+            technology.ladder.segment_area_mm2
+        )
+        assert ladder3.string_resistance_ohm == pytest.approx(
+            technology.ladder.string_resistance_ohm
+        )
+
+    def test_encoder_size_scales_with_taps(self, technology):
+        ge3 = technology.encoder_gate_equivalents(3)
+        ge4 = technology.encoder_gate_equivalents(4)
+        assert ge4 > ge3
+        assert ge4 == pytest.approx(technology.encoder_gate_equivalents_per_tap * 15)
+
+    def test_encoder_size_rejects_invalid_resolution(self, technology):
+        with pytest.raises(ValueError):
+            technology.encoder_gate_equivalents(0)
+
+    def test_invalid_constructions_rejected(self):
+        with pytest.raises(ValueError):
+            EGFETTechnology(vdd=0.0)
+        with pytest.raises(ValueError):
+            EGFETTechnology(frequency_hz=-1.0)
+        with pytest.raises(ValueError):
+            EGFETTechnology(wiring_area_overhead=0.9)
+        with pytest.raises(ValueError):
+            EGFETTechnology(encoder_gate_equivalents_per_tap=0.0)
+
+    def test_harvester_and_sensor_defaults(self, technology):
+        assert technology.harvester.budget_mw == pytest.approx(2.0)
+        assert technology.sensor.power_uw == pytest.approx(5.0)

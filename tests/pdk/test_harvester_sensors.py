@@ -1,0 +1,61 @@
+"""Unit tests for the energy-harvester and sensor budget models."""
+
+import pytest
+
+from repro.pdk.harvester import PrintedEnergyHarvester
+from repro.pdk.sensors import PrintedSensor, SensorSuite
+
+
+class TestPrintedEnergyHarvester:
+    def test_default_budget_is_two_milliwatts(self):
+        assert PrintedEnergyHarvester().budget_mw == pytest.approx(2.0)
+
+    def test_can_power_within_budget(self):
+        harvester = PrintedEnergyHarvester(budget_mw=2.0)
+        assert harvester.can_power(1.9)
+        assert harvester.can_power(2.0)
+        assert not harvester.can_power(2.01)
+
+    def test_headroom_and_utilization(self):
+        harvester = PrintedEnergyHarvester(budget_mw=2.0)
+        assert harvester.headroom_mw(0.5) == pytest.approx(1.5)
+        assert harvester.headroom_mw(2.5) == pytest.approx(-0.5)
+        assert harvester.utilization(1.0) == pytest.approx(0.5)
+
+    def test_negative_load_rejected(self):
+        harvester = PrintedEnergyHarvester()
+        with pytest.raises(ValueError):
+            harvester.can_power(-1.0)
+        with pytest.raises(ValueError):
+            harvester.headroom_mw(-1.0)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PrintedEnergyHarvester(budget_mw=0.0)
+
+
+class TestSensors:
+    def test_default_sensor_power(self):
+        sensor = PrintedSensor()
+        assert sensor.power_uw == pytest.approx(5.0)
+        assert sensor.power_mw == pytest.approx(0.005)
+
+    def test_negative_sensor_power_rejected(self):
+        with pytest.raises(ValueError):
+            PrintedSensor(power_uw=-1.0)
+
+    def test_suite_power_scales_with_sensor_count(self):
+        suite = SensorSuite(n_sensors=11)
+        assert suite.power_uw == pytest.approx(55.0)
+        assert suite.power_mw == pytest.approx(0.055)
+
+    def test_paper_claim_eleven_sensors_below_011_mw(self):
+        """Section IV: even 11 sensors add less than 0.11 mW."""
+        assert SensorSuite(n_sensors=11).power_mw < 0.11
+
+    def test_empty_suite(self):
+        assert SensorSuite(n_sensors=0).power_uw == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SensorSuite(n_sensors=-1)

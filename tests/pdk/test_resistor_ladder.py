@@ -1,0 +1,51 @@
+"""Unit tests for the resistor-ladder model."""
+
+import pytest
+
+from repro.pdk.resistor_ladder import ResistorLadder
+
+
+class TestResistorLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        return ResistorLadder(resolution_bits=4)
+
+    def test_segment_and_tap_counts(self, ladder):
+        assert ladder.n_segments == 16
+        assert ladder.n_taps == 15
+
+    def test_area_scales_with_segments(self, ladder):
+        assert ladder.area_mm2 == pytest.approx(16 * ladder.segment_area_mm2)
+
+    def test_static_power_from_ohms_law(self, ladder):
+        expected = ladder.vdd ** 2 / ladder.string_resistance_ohm * 1e6
+        assert ladder.power_uw == pytest.approx(expected)
+
+    def test_reference_voltages_monotone_and_bounded(self, ladder):
+        voltages = ladder.reference_voltages()
+        assert len(voltages) == 15
+        assert all(later > earlier for earlier, later in zip(voltages, voltages[1:]))
+        assert 0.0 < voltages[0] < voltages[-1] < ladder.vdd
+
+    def test_reference_voltage_formula(self, ladder):
+        assert ladder.reference_voltage(8) == pytest.approx(0.5)
+        assert ladder.reference_voltage(1) == pytest.approx(1 / 16)
+
+    def test_reference_voltage_rejects_out_of_range(self, ladder):
+        with pytest.raises(ValueError):
+            ladder.reference_voltage(0)
+        with pytest.raises(ValueError):
+            ladder.reference_voltage(16)
+
+    def test_lower_resolution_ladder(self):
+        ladder = ResistorLadder(resolution_bits=3)
+        assert ladder.n_taps == 7
+        assert ladder.area_mm2 == pytest.approx(8 * ladder.segment_area_mm2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResistorLadder(resolution_bits=0)
+        with pytest.raises(ValueError):
+            ResistorLadder(segment_area_mm2=-1.0)
+        with pytest.raises(ValueError):
+            ResistorLadder(vdd=0.0)

@@ -1,0 +1,68 @@
+"""Property-based tests for circuit synthesis primitives (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.logic_sim import evaluate_outputs
+from repro.circuits.netlist import Netlist
+from repro.circuits.synthesis import synthesize_constant_comparator, synthesize_sop
+from repro.circuits.two_level import Literal, SumOfProducts
+
+
+class TestComparatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+        st.sampled_from([">=", ">", "<", "<="]),
+    )
+    @settings(max_examples=150)
+    def test_comparator_matches_python_comparison(self, n_bits, data, operation):
+        constant = data.draw(st.integers(min_value=0, max_value=2 ** n_bits - 1))
+        value = data.draw(st.integers(min_value=0, max_value=2 ** n_bits - 1))
+
+        netlist = Netlist("cmp")
+        bits = [netlist.add_input(f"b{k}") for k in range(n_bits - 1, -1, -1)]
+        out = synthesize_constant_comparator(netlist, bits, constant, operation)
+        netlist.add_gate("BUF", [out], output="y")
+        netlist.add_output("y")
+
+        assignment = {f"b{k}": bool((value >> k) & 1) for k in range(n_bits)}
+        result = evaluate_outputs(netlist, assignment)["y"]
+        expected = {
+            ">=": value >= constant,
+            ">": value > constant,
+            "<": value < constant,
+            "<=": value <= constant,
+        }[operation]
+        assert result == expected
+
+    @given(st.integers(min_value=2, max_value=8), st.data())
+    @settings(max_examples=60)
+    def test_comparator_gate_count_bounded_by_bit_width(self, n_bits, data):
+        """Bespoke constant comparators need at most one gate per bit."""
+        constant = data.draw(st.integers(min_value=0, max_value=2 ** n_bits - 1))
+        netlist = Netlist("cmp")
+        bits = [netlist.add_input(f"b{k}") for k in range(n_bits - 1, -1, -1)]
+        synthesize_constant_comparator(netlist, bits, constant, ">=")
+        assert netlist.n_gates <= n_bits
+
+
+VARIABLES = ["p", "q", "r"]
+literals = st.builds(Literal, name=st.sampled_from(VARIABLES), positive=st.booleans())
+sops = st.lists(
+    st.lists(literals, min_size=0, max_size=3), min_size=0, max_size=5
+).map(SumOfProducts)
+
+
+class TestSopSynthesisProperties:
+    @given(sops, st.data())
+    @settings(max_examples=150)
+    def test_synthesized_sop_matches_reference(self, sop, data):
+        assignment = {name: data.draw(st.booleans()) for name in VARIABLES}
+        netlist = Netlist("sop")
+        nets = {name: netlist.add_input(name) for name in VARIABLES}
+        out = synthesize_sop(netlist, sop, nets)
+        netlist.add_gate("BUF", [out], output="y")
+        netlist.add_output("y")
+        netlist.validate()
+        assert evaluate_outputs(netlist, assignment)["y"] == sop.evaluate(assignment)

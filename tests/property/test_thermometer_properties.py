@@ -1,0 +1,90 @@
+"""Property-based tests for thermometer coding (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc.thermometer import (
+    binary_to_level,
+    from_thermometer,
+    is_valid_thermometer,
+    level_to_binary,
+    quantize_to_level,
+    threshold_to_digit,
+    to_thermometer,
+    unary_digit,
+)
+
+resolutions = st.integers(min_value=1, max_value=8)
+
+
+class TestQuantizationProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0), resolutions)
+    def test_level_always_in_range(self, value, bits):
+        level = quantize_to_level(value, bits)
+        assert 0 <= level <= 2 ** bits - 1
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        resolutions,
+    )
+    def test_quantization_is_monotone(self, a, b, bits):
+        low, high = min(a, b), max(a, b)
+        assert quantize_to_level(low, bits) <= quantize_to_level(high, bits)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), resolutions)
+    def test_out_of_range_values_never_crash(self, value, bits):
+        level = quantize_to_level(value, bits)
+        assert 0 <= level <= 2 ** bits - 1
+
+    @given(st.integers(min_value=0, max_value=255), resolutions)
+    def test_grid_point_roundtrip(self, raw_level, bits):
+        level = raw_level % (2 ** bits)
+        assert quantize_to_level(level / 2 ** bits, bits) == level
+
+
+class TestThermometerProperties:
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=1, max_value=63))
+    def test_roundtrip(self, level, n_taps):
+        level = level % (n_taps + 1)
+        code = to_thermometer(level, n_taps)
+        assert is_valid_thermometer(code)
+        assert from_thermometer(code) == level
+        assert sum(code) == level
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=1, max_value=63))
+    def test_digits_are_monotone_nonincreasing(self, level, n_taps):
+        level = level % (n_taps + 1)
+        code = to_thermometer(level, n_taps)
+        assert all(a >= b for a, b in zip(code, code[1:]))
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=1, max_value=31),
+        st.integers(min_value=1, max_value=31),
+    )
+    def test_unary_digit_matches_comparison(self, level, k, n_taps):
+        level = level % (n_taps + 1)
+        k = (k % n_taps) + 1
+        assert unary_digit(level, k) == (1 if level >= k else 0)
+
+
+class TestBinaryProperties:
+    @given(st.integers(min_value=0, max_value=255), resolutions)
+    def test_roundtrip(self, raw, bits):
+        level = raw % (2 ** bits)
+        assert binary_to_level(level_to_binary(level, bits)) == level
+
+
+class TestThresholdDigitProperties:
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=300)
+    def test_digit_equivalent_to_threshold_comparison(self, threshold_level, value_level):
+        """Eq. (2): x >= C on the 4-bit grid is exactly one unary digit read."""
+        threshold = threshold_level / 16
+        digit = threshold_to_digit(threshold, 4)
+        value = value_level / 16
+        assert (value >= threshold) == (quantize_to_level(value, 4) >= digit)

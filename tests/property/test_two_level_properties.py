@@ -1,0 +1,64 @@
+"""Property-based tests for the sum-of-products minimizer (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.two_level import Literal, SumOfProducts
+
+VARIABLES = ["a", "b", "c", "d"]
+
+literals = st.builds(
+    Literal,
+    name=st.sampled_from(VARIABLES),
+    positive=st.booleans(),
+)
+terms = st.lists(literals, min_size=0, max_size=4)
+sops = st.lists(terms, min_size=0, max_size=6).map(SumOfProducts)
+
+
+def truth_table(sop: SumOfProducts):
+    return tuple(
+        sop.evaluate(dict(zip(VARIABLES, bits)))
+        for bits in itertools.product((False, True), repeat=len(VARIABLES))
+    )
+
+
+class TestMinimizationProperties:
+    @given(sops)
+    @settings(max_examples=200)
+    def test_minimization_preserves_the_function(self, sop):
+        assert truth_table(sop.minimized()) == truth_table(sop)
+
+    @given(sops)
+    @settings(max_examples=200)
+    def test_minimization_never_increases_cost(self, sop):
+        minimized = sop.minimized()
+        assert minimized.n_terms <= sop.n_terms
+        assert minimized.n_literals <= sop.n_literals
+
+    @given(sops)
+    @settings(max_examples=100)
+    def test_minimization_is_idempotent(self, sop):
+        once = sop.minimized()
+        twice = once.minimized()
+        assert truth_table(once) == truth_table(twice)
+        assert twice.n_literals == once.n_literals
+
+    @given(sops)
+    def test_constant_detection_consistent_with_evaluation(self, sop):
+        table = truth_table(sop)
+        if sop.is_false():
+            assert not any(table)
+        if sop.is_true():
+            assert all(table)
+
+    @given(sops, sops)
+    @settings(max_examples=100)
+    def test_union_of_terms_is_disjunction(self, first, second):
+        union = SumOfProducts(list(first.terms) + list(second.terms))
+        expected = tuple(
+            a or b for a, b in zip(truth_table(first), truth_table(second))
+        )
+        assert truth_table(union) == expected
