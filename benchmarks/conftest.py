@@ -13,6 +13,12 @@ Environment knobs
     Restrict the suite to the four small benchmarks (quick smoke runs).
 ``REPRO_BENCH_SEED=<int>``
     Change the global seed (default 0).
+``REPRO_BENCH_JOBS=<int>``
+    Worker processes for the suite (default serial; 0 = one per CPU).
+``REPRO_BENCH_CACHE_DIR=<path>``
+    Location of the on-disk result store (default: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro/results``); a CI job can point this at a cached
+    workspace directory so reruns skip the sweep entirely.
 """
 
 from __future__ import annotations
@@ -35,6 +41,15 @@ def _seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+def _jobs() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_JOBS")
+    return int(raw) if raw else None
+
+
+def _cache_dir() -> str | None:
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     """Global seed of the benchmark run."""
@@ -45,7 +60,11 @@ def bench_seed() -> int:
 def suite_results():
     """Co-design results over the benchmark suite (no approximate baseline)."""
     return run_benchmark_suite(
-        seed=_seed(), include_approximate_baseline=False, fast=_fast_mode()
+        seed=_seed(),
+        include_approximate_baseline=False,
+        fast=_fast_mode(),
+        jobs=_jobs(),
+        cache_dir=_cache_dir(),
     )
 
 
@@ -53,7 +72,11 @@ def suite_results():
 def suite_results_with_approx():
     """Co-design results including the approximate baseline [7] (Table II)."""
     return run_benchmark_suite(
-        seed=_seed(), include_approximate_baseline=True, fast=_fast_mode()
+        seed=_seed(),
+        include_approximate_baseline=True,
+        fast=_fast_mode(),
+        jobs=_jobs(),
+        cache_dir=_cache_dir(),
     )
 
 

@@ -9,10 +9,17 @@ front.
 
 Run with::
 
-    python examples/design_space_exploration.py
+    python examples/design_space_exploration.py          # serial sweep
+    REPRO_EXAMPLE_JOBS=4 python examples/design_space_exploration.py
+
+The sweep's 49 trainings are independent: with ``REPRO_EXAMPLE_JOBS`` set,
+they fan out over a process pool through :func:`repro.get_executor` and
+produce bit-identical points.
 """
 
-from repro import DesignSpaceExplorer, load_dataset, select_best_design
+import os
+
+from repro import DesignSpaceExplorer, get_executor, load_dataset, select_best_design
 from repro.analysis.render import render_table
 from repro.mltrees.cart import fit_baseline_tree
 from repro.mltrees.evaluation import train_test_split
@@ -48,11 +55,15 @@ def main() -> None:
           f"at depth {baseline.depth}")
 
     explorer = DesignSpaceExplorer(seed=0)
-    points = explorer.explore(
-        X_train_levels, y_train, X_test_levels, y_test,
-        n_classes=dataset.n_classes, dataset_name=dataset.name,
-    )
-    print(f"explored {len(points)} (depth, tau) combinations\n")
+    jobs = int(os.environ.get("REPRO_EXAMPLE_JOBS", "1"))
+    with get_executor(jobs) as executor:
+        points = explorer.explore(
+            X_train_levels, y_train, X_test_levels, y_test,
+            n_classes=dataset.n_classes, dataset_name=dataset.name,
+            executor=executor,
+        )
+    print(f"explored {len(points)} (depth, tau) combinations "
+          f"({executor.jobs} worker{'s' if executor.jobs > 1 else ''})\n")
 
     front = pareto_front(points)
     print("accuracy-power Pareto front:")

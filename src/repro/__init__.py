@@ -26,18 +26,23 @@ from repro.core import (
     CoDesignResult,
     DesignPoint,
     DesignSpaceExplorer,
+    Executor,
     HardwareReport,
+    ParallelExecutor,
+    ResultStore,
     SelfPowerAnalysis,
+    SerialExecutor,
     UnaryDecisionTree,
     analyze_self_power,
     build_bespoke_adcs,
     build_bespoke_frontend,
+    get_executor,
     select_best_design,
 )
 from repro.datasets import Dataset, dataset_names, load_dataset
 from repro.pdk import EGFETTechnology, default_technology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ADCAwareTrainer",
@@ -46,6 +51,11 @@ __all__ = [
     "CoDesignResult",
     "DesignPoint",
     "DesignSpaceExplorer",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "ResultStore",
     "HardwareReport",
     "SelfPowerAnalysis",
     "UnaryDecisionTree",

@@ -15,7 +15,7 @@ arrangements are modeled:
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.adc.bespoke import BespokeADC
 from repro.adc.encoder import PriorityEncoder

@@ -1,42 +1,132 @@
 """Benchmark-suite orchestration.
 
 :func:`run_benchmark_suite` runs the full co-design flow over (a subset of)
-the eight benchmarks and caches the results per configuration, so that the
-several benchmark files regenerating different tables/figures from the same
-underlying experiment do not recompute it.
+the eight benchmarks.  Results are cached at **per-dataset** granularity on
+two levels:
+
+1. an in-process memo, so the several benchmark files regenerating different
+   tables/figures from the same underlying experiment share the *same*
+   result objects within one interpreter, and
+2. a content-addressed on-disk :class:`~repro.core.store.ResultStore`
+   (key = dataset name, seed, grid, technology, code version), so separate
+   processes -- benchmark scripts, CLI invocations, CI jobs -- reuse each
+   other's work instead of repaying the full sweep.
+
+Because the cache key is per dataset and built from canonical names, asking
+for the same benchmarks in a different order, as a list instead of a tuple,
+or by paper abbreviation all hit the same entries.
+
+Datasets that do need computing are submitted through an
+:class:`~repro.core.executor.Executor`: with ``jobs > 1`` the pending
+benchmarks fan out across worker processes, and a single pending benchmark
+instead parallelizes its depth x tau sweep.  Serial and parallel runs
+produce identical results (everything is seeded).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from pathlib import Path
 
 from repro.core.codesign import CoDesignFramework, CoDesignResult
+from repro.core.executor import Executor, get_executor
 from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS
-from repro.datasets.registry import dataset_names, load_dataset
+from repro.core.store import ResultStore, make_key
+from repro.datasets.registry import canonical_name, dataset_names, load_dataset
+from repro.pdk.egfet import default_technology
 
 #: Smaller benchmarks used when a quick run is requested.
 FAST_DATASETS: tuple[str, ...] = ("balance_scale", "vertebral_3c", "vertebral_2c", "seeds")
 
+#: In-process memo (key -> result).  Guarantees that two suite runs with an
+#: equivalent configuration return the *same* result objects in one
+#: interpreter, on top of the cross-process on-disk store.  Bounded (LRU) so
+#: long-lived processes sweeping many configurations do not accumulate every
+#: result ever computed; evicted entries remain on disk.
+_MEMO: dict[str, CoDesignResult] = {}
 
-@lru_cache(maxsize=8)
-def _run_suite_cached(
-    datasets: tuple[str, ...],
+#: Memo capacity: comfortably holds several full 8-dataset configurations
+#: (the old suite-level ``lru_cache(maxsize=8)`` held up to 8 x 8 results).
+_MEMO_MAX_ENTRIES = 64
+
+
+def _memoize(key: str, result: CoDesignResult) -> None:
+    """Insert into the memo, evicting least-recently-used entries."""
+    _MEMO.pop(key, None)
+    _MEMO[key] = result
+    while len(_MEMO) > _MEMO_MAX_ENTRIES:
+        _MEMO.pop(next(iter(_MEMO)))
+
+
+def _memo_get(key: str) -> CoDesignResult | None:
+    """Memo lookup that refreshes the entry's recency."""
+    result = _MEMO.pop(key, None)
+    if result is not None:
+        _MEMO[key] = result
+    return result
+
+#: Lazily created store shared by all callers that do not pass their own.
+_DEFAULT_STORE: ResultStore | None = None
+
+
+def default_store() -> ResultStore:
+    """The process-wide :class:`ResultStore` used when none is passed in.
+
+    Exposed so callers can inspect cache effectiveness, e.g.
+    ``default_store().stats.hits`` after a suite run.
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ResultStore()
+    return _DEFAULT_STORE
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (the on-disk store is left untouched)."""
+    _MEMO.clear()
+
+
+def suite_result_key(
+    dataset: str,
     seed: int,
     include_approximate_baseline: bool,
     depths: tuple[int, ...],
     taus: tuple[float, ...],
-) -> tuple[CoDesignResult, ...]:
-    framework = CoDesignFramework(
-        depths=depths,
-        taus=taus,
+) -> str:
+    """Content-address one benchmark run of the suite configuration.
+
+    The key normalizes the dataset name and the grid containers and folds in
+    the (default) technology and the code version, so equivalent requests
+    alias and stale results from older code do not.
+    """
+    return make_key(
+        dataset=canonical_name(dataset),
         seed=seed,
-        include_approximate_baseline=include_approximate_baseline,
+        include_approximate_baseline=bool(include_approximate_baseline),
+        depths=tuple(depths),
+        taus=tuple(taus),
+        technology=default_technology(),
     )
-    results = []
-    for name in datasets:
+
+
+def _run_one_benchmark(
+    name: str,
+    seed: int,
+    include_approximate_baseline: bool,
+    depths: tuple[int, ...],
+    taus: tuple[float, ...],
+    jobs: int = 1,
+) -> CoDesignResult:
+    """Top-level (picklable) job: run the co-design flow on one benchmark."""
+    with get_executor(jobs) as executor:
+        framework = CoDesignFramework(
+            depths=depths,
+            taus=taus,
+            seed=seed,
+            include_approximate_baseline=include_approximate_baseline,
+            executor=executor if executor.jobs > 1 else None,
+        )
         dataset = load_dataset(name, seed=seed)
-        results.append(framework.run(dataset))
-    return tuple(results)
+        return framework.run(dataset)
 
 
 def run_benchmark_suite(
@@ -46,13 +136,19 @@ def run_benchmark_suite(
     depths: tuple[int, ...] = DEFAULT_DEPTHS,
     taus: tuple[float, ...] = DEFAULT_TAUS,
     fast: bool = False,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    store: ResultStore | None = None,
+    use_cache: bool = True,
 ) -> list[CoDesignResult]:
-    """Run the co-design flow over the benchmark suite (cached per configuration).
+    """Run the co-design flow over the benchmark suite (cached per dataset).
 
     Parameters
     ----------
     datasets:
         Benchmark names to run (defaults to all eight in the paper's order).
+        Accepts any iterable of names or paper abbreviations; results come
+        back in the requested order.
     seed:
         Seed controlling the dataset synthesis, the split and every trainer.
     include_approximate_baseline:
@@ -63,14 +159,84 @@ def run_benchmark_suite(
     fast:
         When True and ``datasets`` is not given, restrict the run to the four
         small benchmarks (useful for smoke tests).
+    jobs:
+        Worker processes to fan out over (``None``/``1``: serial, ``0``: one
+        per CPU).  Multiple pending benchmarks parallelize across datasets; a
+        single pending benchmark parallelizes its depth x tau sweep instead.
+        Results are identical either way.
+    cache_dir:
+        Directory of the on-disk result store (default:
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``).
+    store:
+        Explicit :class:`ResultStore` to use (overrides ``cache_dir``);
+        handy for inspecting hit/miss statistics.
+    use_cache:
+        When False, skip the on-disk store entirely (the in-process memo is
+        bypassed too) and recompute everything.
     """
+    if jobs is not None and jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
     if datasets is None:
-        datasets = FAST_DATASETS if fast else tuple(dataset_names())
-    results = _run_suite_cached(
-        tuple(datasets),
-        seed,
-        include_approximate_baseline,
-        tuple(depths),
-        tuple(taus),
-    )
-    return list(results)
+        requested = FAST_DATASETS if fast else tuple(dataset_names())
+    else:
+        requested = tuple(datasets)
+    names = [canonical_name(name) for name in requested]
+
+    if use_cache and store is None:
+        store = ResultStore(cache_dir) if cache_dir is not None else default_store()
+
+    keys = {
+        name: suite_result_key(name, seed, include_approximate_baseline, depths, taus)
+        for name in dict.fromkeys(names)
+    }
+
+    resolved: dict[str, CoDesignResult] = {}
+    pending: list[str] = []
+    for name, key in keys.items():
+        memoized = _memo_get(key) if use_cache else None
+        if memoized is not None:
+            if store is not None and key not in store:
+                store.put(key, memoized)  # write-through: keep the disk store complete
+            resolved[name] = memoized
+            continue
+        if use_cache and store is not None:
+            cached = store.get(key)
+            if cached is not None:
+                _memoize(key, cached)
+                resolved[name] = cached
+                continue
+        pending.append(name)
+
+    if pending:
+        executor: Executor = get_executor(jobs)
+        try:
+            if executor.jobs > 1 and len(pending) > 1:
+                # Fan out across datasets; each worker runs its sweep serially.
+                tasks = [
+                    (name, seed, include_approximate_baseline, tuple(depths), tuple(taus))
+                    for name in pending
+                ]
+                computed = executor.map(_run_one_benchmark, tasks)
+            else:
+                # Serial across datasets; parallelize inside the sweep instead.
+                computed = [
+                    _run_one_benchmark(
+                        name,
+                        seed,
+                        include_approximate_baseline,
+                        tuple(depths),
+                        tuple(taus),
+                        jobs=executor.jobs,
+                    )
+                    for name in pending
+                ]
+        finally:
+            executor.close()
+        for name, result in zip(pending, computed):
+            if use_cache:
+                if store is not None:
+                    store.put(keys[name], result)
+                _memoize(keys[name], result)
+            resolved[name] = result
+
+    return [resolved[name] for name in names]

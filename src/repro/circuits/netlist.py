@@ -9,7 +9,7 @@ reference library cells by *name* and the actual area/power lookup happens in
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

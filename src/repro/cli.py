@@ -13,6 +13,41 @@ Regenerate Fig. 3 (bespoke ADC scaling)::
 Run the full Table II comparison on two named benchmarks::
 
     python -m repro.cli table2 --datasets seeds vertebral_2c
+
+Parallelism and caching
+-----------------------
+The suite commands (``table1``, ``fig4``, ``fig5``, ``table2``) accept
+``--jobs`` and ``--cache-dir``:
+
+* ``--jobs N`` fans the independent work units -- the per-benchmark runs
+  and, for a single benchmark, the depth x tau design points -- out over
+  ``N`` worker processes (``0`` = one per CPU).  Results are bit-identical
+  to a serial run::
+
+      python -m repro.cli table2 --jobs 8
+
+* ``--cache-dir DIR`` points the content-addressed on-disk result store at
+  ``DIR`` (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``).
+  Results are keyed by dataset, seed, grid, technology and code version, so
+  any later invocation -- same process or not -- reuses them::
+
+      python -m repro.cli table1 --cache-dir .repro-cache
+      python -m repro.cli table2 --cache-dir .repro-cache   # reuses the sweep
+
+  ``--no-cache`` forces a full recomputation.
+
+Running the CI checks locally
+-----------------------------
+The GitHub Actions pipeline (``.github/workflows/ci.yml``) runs, on every
+push/PR::
+
+    ruff check src tests benchmarks examples      # lint job
+    PYTHONPATH=src python -m pytest -q -m "not slow"   # tier-1 gate
+
+and nightly the full suite with artifacts::
+
+    PYTHONPATH=src python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
+    PYTHONPATH=src python -m repro.cli table2 --jobs 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -25,6 +60,13 @@ from repro.analysis.render import render_table
 from repro.analysis.experiments import run_benchmark_suite
 from repro.analysis.tables import table1_rows, table1_summary, table2_rows, table2_summary
 from repro.datasets.registry import dataset_names, load_dataset
+
+
+def _jobs_argument(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one worker per CPU)")
+    return jobs
 
 
 def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +83,24 @@ def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="restrict the default dataset list to the four small benchmarks",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=None,
+        help="worker processes for the suite / design-space sweep "
+        "(default: serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result store "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result store and recompute everything",
+    )
 
 
 def _suite(args: argparse.Namespace, include_approximate: bool):
@@ -50,6 +110,9 @@ def _suite(args: argparse.Namespace, include_approximate: bool):
         seed=args.seed,
         include_approximate_baseline=include_approximate,
         fast=args.fast,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
     )
 
 

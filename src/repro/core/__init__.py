@@ -17,7 +17,11 @@ orchestration that ties them to the substrates:
 * :mod:`repro.core.power_budget` -- the self-power feasibility analysis
   against printed energy harvesters,
 * :mod:`repro.core.metrics` -- hardware/accuracy report records and
-  reduction arithmetic shared by the benchmarks.
+  reduction arithmetic shared by the benchmarks,
+* :mod:`repro.core.executor` -- serial/process-parallel execution backends
+  the design-space sweep and the benchmark suite submit their jobs through,
+* :mod:`repro.core.store` -- content-addressed on-disk result store shared
+  across processes and CI jobs.
 """
 
 from repro.core.metrics import (
@@ -27,6 +31,13 @@ from repro.core.metrics import (
     reduction_factor,
     reduction_percent,
 )
+from repro.core.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+)
+from repro.core.store import ResultStore, StoreStats, make_key
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.core.bespoke_adc import build_bespoke_adcs, build_bespoke_frontend
 from repro.core.adc_aware_training import ADCAwareTrainer
@@ -43,6 +54,13 @@ from repro.core.datasheet import generate_datasheet
 from repro.core.codesign import CoDesignFramework, CoDesignResult
 
 __all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "ResultStore",
+    "StoreStats",
+    "make_key",
     "HardwareReport",
     "ClassifierDesign",
     "ReductionReport",

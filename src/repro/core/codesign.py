@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.baselines.balaskas import BalaskasApproximateDesign, fit_balaskas_design
 from repro.baselines.mubarik import BaselineBespokeDesign
+from repro.core.executor import Executor
 from repro.core.exploration import (
     DEFAULT_DEPTHS,
     DEFAULT_TAUS,
@@ -107,6 +108,7 @@ class CoDesignFramework:
         test_size: float = 0.3,
         seed: int = 0,
         include_approximate_baseline: bool = True,
+        executor: Executor | None = None,
     ):
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
@@ -117,6 +119,9 @@ class CoDesignFramework:
         self.test_size = test_size
         self.seed = seed
         self.include_approximate_baseline = include_approximate_baseline
+        #: Execution backend for the depth x tau sweep (None: serial).  Not
+        #: part of the experiment configuration: it never changes results.
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # data preparation
@@ -200,6 +205,7 @@ class CoDesignFramework:
             y_test,
             n_classes=dataset.n_classes,
             dataset_name=dataset.name,
+            executor=self.executor,
         )
 
     def run_approximate_baseline(

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.adc_aware_training import ADCAwareTrainer
 from repro.core.bespoke_adc import build_bespoke_frontend
+from repro.core.executor import Executor, SerialExecutor
 from repro.core.metrics import HardwareReport
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.mltrees.evaluation import accuracy_score
@@ -142,30 +143,57 @@ class DesignSpaceExplorer:
         y_test: np.ndarray,
         n_classes: int,
         dataset_name: str = "",
+        executor: Executor | None = None,
     ) -> list[DesignPoint]:
         """Evaluate the full depth x tau grid.
 
         Every training is independent (the paper parallelizes them across a
-        server); here they run sequentially but share the vectorized split
-        search, which keeps the whole sweep in the seconds range per
-        benchmark.
+        server): each (depth, tau) point is submitted as one job to
+        ``executor`` (default: in-process serial execution).  Because every
+        job is seeded, serial and parallel runs return identical points in
+        the same depth-major order.
         """
-        points: list[DesignPoint] = []
-        for depth in self.depths:
-            for tau in self.taus:
-                points.append(
-                    self.evaluate_point(
-                        X_train_levels,
-                        y_train,
-                        X_test_levels,
-                        y_test,
-                        n_classes,
-                        depth,
-                        tau,
-                        dataset_name,
-                    )
-                )
-        return points
+        executor = executor if executor is not None else SerialExecutor()
+        tasks = [
+            (
+                self,
+                X_train_levels,
+                y_train,
+                X_test_levels,
+                y_test,
+                n_classes,
+                depth,
+                tau,
+                dataset_name,
+            )
+            for depth in self.depths
+            for tau in self.taus
+        ]
+        return executor.map(_evaluate_point_job, tasks)
+
+
+def _evaluate_point_job(
+    explorer: DesignSpaceExplorer,
+    X_train_levels: np.ndarray,
+    y_train: np.ndarray,
+    X_test_levels: np.ndarray,
+    y_test: np.ndarray,
+    n_classes: int,
+    depth: int,
+    tau: float,
+    dataset_name: str,
+) -> DesignPoint:
+    """Picklable top-level job wrapper for :meth:`DesignSpaceExplorer.explore`."""
+    return explorer.evaluate_point(
+        X_train_levels,
+        y_train,
+        X_test_levels,
+        y_test,
+        n_classes,
+        depth,
+        tau,
+        dataset_name,
+    )
 
 
 def select_best_design(
@@ -202,7 +230,13 @@ def select_best_design(
     if not feasible:
         return None
     if objective == "power":
-        key = lambda p: (p.hardware.total_power_uw, p.hardware.total_area_mm2)
+
+        def key(p: DesignPoint):
+            return (p.hardware.total_power_uw, p.hardware.total_area_mm2)
+
     else:
-        key = lambda p: (p.hardware.total_area_mm2, p.hardware.total_power_uw)
+
+        def key(p: DesignPoint):
+            return (p.hardware.total_area_mm2, p.hardware.total_power_uw)
+
     return min(feasible, key=key)

@@ -1,0 +1,234 @@
+"""Content-addressed on-disk store for experiment results.
+
+:class:`ResultStore` persists expensive experiment outputs (one
+:class:`~repro.core.codesign.CoDesignResult` per benchmark configuration)
+under a key derived from *what* was computed -- dataset name, seed, grid,
+technology, code version -- rather than *when*.  Unlike the in-process
+``lru_cache`` it replaces, the store survives interpreter restarts and is
+shared between processes and CI jobs: a nightly run warms the cache that the
+next benchmark script reads.
+
+Keys are SHA-256 digests of a canonical JSON rendering of the key fields, so
+equivalent configurations hash identically no matter the argument order or
+container type (list vs tuple), and any change to the key fields -- including
+the code version baked in by default -- addresses fresh entries, which makes
+stale results from older code invisible rather than wrong.
+
+Values are stored as individual pickle files written atomically
+(``os.replace``), so concurrent writers on the same filesystem never expose
+partial entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+
+#: Bump when the *stored payload* layout changes incompatibly (independent of
+#: the package version, which already participates in the key).
+STORE_SCHEMA_VERSION = 1
+
+
+def code_version() -> str:
+    """Version tag baked into every key: package version + store schema."""
+    import repro  # deferred: repro/__init__ imports this module transitively
+
+    return f"{repro.__version__}/schema{STORE_SCHEMA_VERSION}"
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-serializable primitives, deterministically.
+
+    Tuples and lists collapse to the same representation, dict keys are
+    sorted, and dataclasses (e.g. the technology object) are expanded to
+    ``class name + field dict`` so two equal configurations always produce
+    the same canonical form.  Non-dataclass objects may opt in by exposing a
+    ``canonical_form()`` method returning primitives (e.g. the cell
+    library); anything else falls back to its ``repr``, which must then be
+    stable across processes.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    canonical_form = getattr(value, "canonical_form", None)
+    if callable(canonical_form):
+        return {
+            "__canonical__": type(value).__qualname__,
+            "value": _canonical(canonical_form()),
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            **{f.name: _canonical(getattr(value, f.name)) for f in fields(value)},
+        }
+    # Last resort: a stable repr (covers e.g. numpy scalars via their repr).
+    return repr(value)
+
+
+def make_key(**key_fields) -> str:
+    """Content-address a configuration: SHA-256 of its canonical JSON form.
+
+    The current :func:`code_version` is mixed in unless the caller provides
+    an explicit ``code_version`` field, so results computed by older code
+    never alias results of the current code.
+    """
+    key_fields.setdefault("code_version", code_version())
+    rendered = json.dumps(_canonical(key_fields), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/store counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.stores = 0
+
+
+def default_cache_dir() -> Path:
+    """Default on-disk location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+class ResultStore:
+    """Content-addressed pickle store on the local filesystem.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries (created on first write).  Defaults to
+        :func:`default_cache_dir`, so separate processes of the same user
+        share one store out of the box; CI jobs point it at a workspace
+        directory via ``--cache-dir`` / ``$REPRO_CACHE_DIR``.
+
+    Examples
+    --------
+    >>> store = ResultStore(cache_dir="/tmp/repro-cache")
+    >>> key = store.make_key(dataset="seeds", seed=0, depths=(2, 3), taus=(0.0,))
+    >>> store.get(key) is None   # first process: miss ...
+    True
+    >>> store.put(key, {"accuracy": 0.9})
+    >>> store.get(key)           # ... any later process: hit
+    {'accuracy': 0.9}
+    >>> store.stats.hits, store.stats.misses
+    (1, 1)
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
+            )
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # keys and paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make_key(**key_fields) -> str:
+        """See :func:`make_key` (exposed on the class for convenience)."""
+        return make_key(**key_fields)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key``."""
+        return self.cache_dir / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ #
+    # store operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, default=None):
+        """Load the entry for ``key``, counting a hit or a miss.
+
+        Unreadable entries (truncated writes from killed processes, pickles
+        of incompatible classes) count as misses and are evicted.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return default
+        except Exception:
+            self.invalidate(key)
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> Path:
+        """Persist ``value`` under ``key`` atomically; returns the entry path."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop the entry for ``key``; True when something was removed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except (FileNotFoundError, NotADirectoryError):
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of removed entries.
+
+        Also sweeps ``*.tmp`` files orphaned by writers killed between
+        ``mkstemp`` and ``os.replace`` (those do not count as entries).
+        """
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+            for path in self.cache_dir.glob("*.tmp"):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(cache_dir={str(self.cache_dir)!r})"

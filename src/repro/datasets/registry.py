@@ -72,7 +72,7 @@ def dataset_names() -> list[str]:
     return list(_LOADERS)
 
 
-def _canonical(name: str) -> str:
+def canonical_name(name: str) -> str:
     """Resolve a dataset name or abbreviation to its canonical name."""
     lowered = name.strip().lower()
     if lowered in _LOADERS:
@@ -88,12 +88,12 @@ def _canonical(name: str) -> str:
 
 def load_dataset(name: str, seed: int = 0) -> Dataset:
     """Load one of the eight benchmarks by name or paper abbreviation."""
-    return _LOADERS[_canonical(name)](seed)
+    return _LOADERS[canonical_name(name)](seed)
 
 
 def paper_reference(name: str) -> dict[str, float]:
     """Paper-reported Table I values for the named benchmark."""
-    return dict(_PAPER_REFERENCE[_canonical(name)])
+    return dict(_PAPER_REFERENCE[canonical_name(name)])
 
 
 def load_csv(

@@ -10,7 +10,7 @@ digit ``I[k]`` implements in the parallel unary architecture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -69,6 +69,24 @@ class DecisionTree:
         self.n_features = n_features
         self.n_classes = n_classes
         self.resolution_bits = resolution_bits
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same shape, splits, predictions and metadata.
+
+        Lets higher-level records embedding trees (``DesignPoint``,
+        ``CoDesignResult``) compare by value, e.g. when asserting that
+        serial and parallel experiment runs produce identical results.
+        """
+        if not isinstance(other, DecisionTree):
+            return NotImplemented
+        return (
+            self.n_features == other.n_features
+            and self.n_classes == other.n_classes
+            and self.resolution_bits == other.resolution_bits
+            and self.root == other.root
+        )
+
+    __hash__ = None  # structural equality makes trees unhashable (like TreeNode)
 
     # ------------------------------------------------------------------ #
     # traversal helpers

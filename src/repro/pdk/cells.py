@@ -21,7 +21,7 @@ consumption, so the model treats cell power as activity-independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 #: Area of one gate equivalent (a 2-input NAND) in mm^2.
@@ -119,6 +119,37 @@ class CellLibrary:
     def power_of(self, name: str) -> float:
         """Average power in uW of the named cell."""
         return self[name].power_uw
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same name and same cells.
+
+        Technology objects embed the library, and experiment results embed
+        the technology; value equality here is what lets two equally
+        configured runs (serial vs parallel, this process vs a worker)
+        compare equal end to end.
+        """
+        if not isinstance(other, CellLibrary):
+            return NotImplemented
+        return self.name == other.name and self._cells == other._cells
+
+    def __hash__(self) -> int:
+        """Value hash consistent with ``__eq__``.
+
+        Kept (rather than dropping to unhashable) because the frozen
+        ``EGFETTechnology`` dataclass embeds the library and must stay
+        hashable.  Mutating a library after using it as a hash key is the
+        caller's foot-gun, same as any hashable-by-value container.
+        """
+        return hash((self.name, frozenset(self._cells.items())))
+
+    def canonical_form(self) -> dict:
+        """Primitive rendering used by the result store's cache keys.
+
+        The default ``repr`` only exposes name and cell count; the cache key
+        must change whenever any cell's cost changes, so every cell
+        participates here.
+        """
+        return {"name": self.name, "cells": {n: self._cells[n] for n in sorted(self._cells)}}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CellLibrary(name={self.name!r}, n_cells={len(self)})"

@@ -1,9 +1,17 @@
 """Tests for the benchmark-suite orchestration and the CLI."""
 
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.analysis.experiments import run_benchmark_suite
 from repro.cli import build_parser, main
+from repro.core.store import ResultStore
+
+#: Tiny exploration grid keeping orchestration tests in the sub-second range.
+SMALL_GRID = dict(depths=(2, 3), taus=(0.0, 0.01))
 
 
 class TestRunBenchmarkSuite:
@@ -31,6 +39,18 @@ class TestRunBenchmarkSuite:
         second = run_benchmark_suite(**kwargs)
         assert first[0] is second[0]
 
+    def test_negative_jobs_rejected_even_on_warm_cache(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        kwargs = dict(
+            datasets=("vertebral_2c",),
+            include_approximate_baseline=False,
+            store=store,
+            **SMALL_GRID,
+        )
+        run_benchmark_suite(**kwargs)  # warm the cache
+        with pytest.raises(ValueError, match="jobs"):
+            run_benchmark_suite(jobs=-3, **kwargs)
+
     def test_fast_flag_selects_small_benchmarks(self):
         results = run_benchmark_suite(
             fast=True,
@@ -40,6 +60,119 @@ class TestRunBenchmarkSuite:
         )
         names = {result.dataset for result in results}
         assert names == {"balance_scale", "vertebral_3c", "vertebral_2c", "seeds"}
+
+
+class TestCacheKeyNormalization:
+    def test_dataset_order_and_container_type_hit_the_same_entries(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        kwargs = dict(seed=0, include_approximate_baseline=False, store=store, **SMALL_GRID)
+
+        first = run_benchmark_suite(datasets=("vertebral_2c", "seeds"), **kwargs)
+        assert store.stats.stores == 2
+
+        # Different order, list instead of tuple, and paper abbreviations must
+        # all alias the two already-computed entries (memo identity included).
+        second = run_benchmark_suite(datasets=["SE", "V2"], **kwargs)
+        assert store.stats.stores == 2  # nothing recomputed
+        assert second[0] is first[1]
+        assert second[1] is first[0]
+        assert [r.dataset for r in second] == ["seeds", "vertebral_2c"]
+
+    def test_memo_is_bounded(self, tmp_path, monkeypatch):
+        from repro.analysis import experiments
+
+        monkeypatch.setattr(experiments, "_MEMO_MAX_ENTRIES", 2)
+        store = ResultStore(cache_dir=tmp_path)
+        for seed in range(3):
+            run_benchmark_suite(
+                datasets=("vertebral_2c",),
+                seed=seed,
+                include_approximate_baseline=False,
+                store=store,
+                depths=(2,),
+                taus=(0.0,),
+            )
+        assert len(experiments._MEMO) <= 2
+        assert store.stats.stores == 3  # evicted entries remain on disk
+
+    def test_duplicate_requests_share_one_computation(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        results = run_benchmark_suite(
+            datasets=("seeds", "seeds"),
+            include_approximate_baseline=False,
+            store=store,
+            **SMALL_GRID,
+        )
+        assert store.stats.stores == 1
+        assert results[0] is results[1]
+
+
+class TestResultStorePersistence:
+    #: Script run in fresh interpreters: one fast suite over the on-disk store,
+    #: printing the store's hit/miss counters.
+    SCRIPT = textwrap.dedent(
+        """
+        from repro.analysis.experiments import run_benchmark_suite
+        from repro.core.store import ResultStore
+
+        store = ResultStore(cache_dir={cache_dir!r})
+        results = run_benchmark_suite(
+            fast=True,
+            include_approximate_baseline=False,
+            depths=(2,),
+            taus=(0.0,),
+            store=store,
+        )
+        print("RESULTS", len(results), "HITS", store.stats.hits,
+              "MISSES", store.stats.misses, "STORES", store.stats.stores)
+        """
+    )
+
+    def _run(self, cache_dir) -> str:
+        completed = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT.format(cache_dir=str(cache_dir))],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return completed.stdout
+
+    def test_second_process_hits_the_on_disk_store(self, tmp_path):
+        first = self._run(tmp_path / "store")
+        assert "RESULTS 4 HITS 0 MISSES 4 STORES 4" in first
+
+        second = self._run(tmp_path / "store")
+        assert "RESULTS 4 HITS 4 MISSES 0 STORES 0" in second
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_suite_equals_serial_suite(self):
+        kwargs = dict(
+            datasets=("vertebral_2c", "seeds"),
+            seed=0,
+            include_approximate_baseline=True,
+            use_cache=False,
+            **SMALL_GRID,
+        )
+        serial = run_benchmark_suite(jobs=None, **kwargs)
+        parallel = run_benchmark_suite(jobs=4, **kwargs)
+
+        assert len(serial) == len(parallel) == 2
+        for left, right in zip(serial, parallel):
+            assert left is not right  # use_cache=False: genuinely recomputed
+            assert left == right  # full structural equality, trees included
+
+    def test_single_dataset_parallel_sweep_equals_serial(self):
+        kwargs = dict(
+            datasets=("seeds",),
+            include_approximate_baseline=False,
+            use_cache=False,
+            **SMALL_GRID,
+        )
+        (serial,) = run_benchmark_suite(jobs=None, **kwargs)
+        (parallel,) = run_benchmark_suite(jobs=2, **kwargs)
+        assert serial.exploration == parallel.exploration
+        assert serial == parallel
 
 
 class TestCli:
@@ -74,6 +207,34 @@ class TestCli:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["table1", "--datasets", "not_a_dataset"])
+
+    def test_suite_commands_accept_jobs_and_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table2", "--fast", "--jobs", "8", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 8
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+
+    def test_negative_jobs_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--fast", "--jobs", "-3"])
+
+    def test_table1_with_jobs_and_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "table1",
+            "--datasets",
+            "vertebral_2c",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cli-cache"),
+        ]
+        assert main(argv) == 0
+        assert "vertebral_2c" in capsys.readouterr().out
+        # the run populated the pointed-at store
+        assert len(ResultStore(cache_dir=tmp_path / "cli-cache")) >= 1
 
     def test_datasheet_command(self, capsys):
         exit_code = main(

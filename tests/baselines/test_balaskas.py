@@ -8,7 +8,7 @@ from repro.baselines.balaskas import (
     approximate_tree,
     fit_balaskas_design,
 )
-from repro.mltrees.cart import CARTTrainer, fit_baseline_tree
+from repro.mltrees.cart import fit_baseline_tree
 from repro.mltrees.evaluation import accuracy_score
 
 

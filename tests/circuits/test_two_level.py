@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.circuits.two_level import Literal, SumOfProducts
 

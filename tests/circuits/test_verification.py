@@ -1,6 +1,5 @@
 """Unit tests for netlist-vs-reference equivalence checking."""
 
-import pytest
 
 from repro.circuits.netlist import Netlist
 from repro.circuits.verification import check_equivalence
@@ -53,7 +52,8 @@ class TestCheckEquivalence:
         nets = [netlist.add_input(f"i{k}") for k in range(16)]
         netlist.add_gate("AND4", nets[:4], output="y")
         netlist.add_output("y")
-        reference = lambda inp: {"y": all(inp[f"i{k}"] for k in range(4))}
+        def reference(inp):
+            return {"y": all(inp[f"i{k}"] for k in range(4))}
         first = check_equivalence(netlist, reference, exhaustive_limit=4,
                                   n_random_vectors=50, seed=11)
         second = check_equivalence(netlist, reference, exhaustive_limit=4,

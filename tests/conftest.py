@@ -16,6 +16,26 @@ from repro.mltrees.quantize import quantize_dataset
 from repro.mltrees.evaluation import train_test_split
 from repro.pdk.egfet import default_technology
 
+#: Test files that exercise the full stack end-to-end (or spawn worker
+#: processes); they are auto-marked ``slow`` and skipped by the tier-1 PR
+#: gate (``pytest -m "not slow"``), which keeps the gate in the minutes
+#: range.  The nightly CI job and a plain ``pytest`` run include them.
+_SLOW_FILES = {"test_integration.py", "test_paper_claims.py"}
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply the ``fast``/``slow`` markers registered in pyproject.toml.
+
+    Tests may also opt in explicitly with ``@pytest.mark.slow``; every test
+    without a ``slow`` marker is marked ``fast``.
+    """
+    for item in items:
+        if item.path.name in _SLOW_FILES:
+            item.add_marker(pytest.mark.slow)
+        if "slow" in item.keywords:
+            continue
+        item.add_marker(pytest.mark.fast)
+
 
 @pytest.fixture(scope="session")
 def technology():

@@ -1,0 +1,80 @@
+"""Unit tests for the serial/parallel experiment execution backends."""
+
+import operator
+
+import pytest
+
+from repro.core.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+)
+
+
+class TestSerialExecutor:
+    def test_maps_in_submission_order(self):
+        executor = SerialExecutor()
+        assert executor.map(operator.mul, [(2, 3), (4, 5), (0, 7)]) == [6, 20, 0]
+
+    def test_empty_task_list(self):
+        assert SerialExecutor().map(operator.neg, []) == []
+
+    def test_is_an_executor_with_one_job(self):
+        executor = SerialExecutor()
+        assert isinstance(executor, Executor)
+        assert executor.jobs == 1
+
+    def test_close_is_idempotent(self):
+        executor = SerialExecutor()
+        executor.close()
+        executor.close()
+        assert executor.map(operator.neg, [(1,)]) == [-1]
+
+
+class TestParallelExecutor:
+    def test_matches_serial_results_and_order(self):
+        tasks = [(i, i + 1) for i in range(10)]
+        serial = SerialExecutor().map(operator.mul, tasks)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = executor.map(operator.mul, tasks)
+        assert parallel == serial
+
+    def test_more_jobs_than_tasks(self):
+        with ParallelExecutor(jobs=8) as executor:
+            assert executor.map(operator.neg, [(3,), (-4,)]) == [-3, 4]
+
+    def test_auto_jobs_from_cpu_count(self):
+        assert ParallelExecutor(jobs=None).jobs >= 1
+        assert ParallelExecutor(jobs=0).jobs >= 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=-2)
+
+    def test_worker_exceptions_propagate(self):
+        with ParallelExecutor(jobs=2) as executor:
+            with pytest.raises(ZeroDivisionError):
+                executor.map(operator.truediv, [(1, 1), (1, 0)])
+
+    def test_close_then_context_reuse(self):
+        executor = ParallelExecutor(jobs=2)
+        assert executor.map(operator.neg, [(5,)]) == [-5]
+        executor.close()
+        executor.close()  # idempotent
+
+
+class TestGetExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+
+    def test_multiple_jobs_is_parallel(self):
+        executor = get_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_zero_means_one_worker_per_cpu(self):
+        executor = get_executor(0)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs >= 1

@@ -9,7 +9,6 @@ from repro.core.exploration import (
     proposed_hardware_report,
     select_best_design,
 )
-from repro.mltrees.cart import CARTTrainer
 
 
 class TestDefaults:
@@ -62,6 +61,20 @@ class TestDesignSpaceExplorer:
     def test_empty_grid_rejected(self, technology):
         with pytest.raises(ValueError):
             DesignSpaceExplorer(technology=technology, depths=(), taus=(0.0,))
+
+    def test_parallel_executor_matches_serial(self, small_split, technology, points):
+        from repro.core.executor import ParallelExecutor
+
+        X_train, X_test, y_train, y_test = small_split
+        explorer = DesignSpaceExplorer(
+            technology=technology, depths=(2, 3), taus=(0.0, 0.02), seed=0
+        )
+        with ParallelExecutor(jobs=2) as executor:
+            parallel_points = explorer.explore(
+                X_train, y_train, X_test, y_test, 3, "small", executor=executor
+            )
+        # bit-identical results in the same depth-major order
+        assert parallel_points == points
 
 
 class TestSelectBestDesign:

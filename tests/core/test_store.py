@@ -1,0 +1,111 @@
+"""Unit tests for the content-addressed on-disk result store."""
+
+import pickle
+
+import pytest
+
+from repro.core.store import ResultStore, code_version, make_key
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(cache_dir=tmp_path / "cache")
+
+
+class TestMakeKey:
+    def test_field_order_does_not_matter(self):
+        assert make_key(a=1, b="x") == make_key(b="x", a=1)
+
+    def test_list_and_tuple_alias(self):
+        assert make_key(depths=(2, 3), taus=[0.0]) == make_key(depths=[2, 3], taus=(0.0,))
+
+    def test_different_values_differ(self):
+        assert make_key(seed=0) != make_key(seed=1)
+        assert make_key(dataset="seeds") != make_key(dataset="cardio")
+
+    def test_code_version_participates(self):
+        current = make_key(seed=0)
+        pinned = make_key(seed=0, code_version="0.0.0/older")
+        assert current != pinned
+        assert make_key(seed=0, code_version=code_version()) == current
+
+    def test_dataclasses_hash_by_value(self):
+        from repro.pdk.egfet import default_technology
+
+        assert make_key(tech=default_technology()) == make_key(tech=default_technology())
+
+
+class TestResultStore:
+    def test_miss_then_hit_round_trip(self, store):
+        key = store.make_key(dataset="seeds", seed=0)
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+
+        store.put(key, {"accuracy": 0.9})
+        assert store.stats.stores == 1
+        assert store.get(key) == {"accuracy": 0.9}
+        assert store.stats.hits == 1
+
+    def test_survives_across_instances(self, store):
+        key = make_key(dataset="seeds", seed=0)
+        store.put(key, [1, 2, 3])
+
+        reopened = ResultStore(cache_dir=store.cache_dir)
+        assert reopened.get(key) == [1, 2, 3]
+        assert reopened.stats.hits == 1
+        assert reopened.stats.misses == 0
+
+    def test_contains_and_len(self, store):
+        key = make_key(n=1)
+        assert key not in store
+        assert len(store) == 0
+        store.put(key, "value")
+        assert key in store
+        assert len(store) == 1
+
+    def test_invalidate(self, store):
+        key = make_key(n=2)
+        store.put(key, "value")
+        assert store.invalidate(key) is True
+        assert store.invalidate(key) is False
+        assert store.get(key) is None
+
+    def test_clear(self, store):
+        for n in range(3):
+            store.put(make_key(n=n), n)
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_clear_sweeps_orphaned_tmp_files(self, store):
+        store.put(make_key(n=0), 0)
+        orphan = store.cache_dir / "deadbeef.tmp"
+        orphan.write_bytes(b"partial write from a killed process")
+        assert store.clear() == 1  # tmp files are not entries
+        assert not orphan.exists()
+
+    def test_corrupt_entry_counts_as_miss_and_is_evicted(self, store):
+        key = make_key(n=3)
+        store.put(key, "value")
+        store.path_for(key).write_bytes(b"\x80truncated")
+        assert store.get(key, default="fallback") == "fallback"
+        assert store.stats.misses == 1
+        assert key not in store
+
+    def test_put_overwrites_atomically(self, store):
+        key = make_key(n=4)
+        store.put(key, "old")
+        store.put(key, "new")
+        assert store.get(key) == "new"
+        with open(store.path_for(key), "rb") as handle:
+            assert pickle.load(handle) == "new"
+
+    def test_cache_dir_pointing_at_a_file_rejected(self, tmp_path):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        with pytest.raises(ValueError, match="not a directory"):
+            ResultStore(cache_dir=bogus)
+
+    def test_stats_reset(self, store):
+        store.get(make_key(n=5))
+        store.stats.reset()
+        assert (store.stats.hits, store.stats.misses, store.stats.stores) == (0, 0, 0)

@@ -1,7 +1,6 @@
 """Unit tests for decision-path and comparison-summary export."""
 
 import numpy as np
-import pytest
 
 from repro.mltrees.export import comparisons_summary, tree_to_paths
 from repro.mltrees.cart import CARTTrainer

@@ -76,6 +76,24 @@ class TestEgfetLibrary:
         assert library["A"].area_mm2 == pytest.approx(0.2)
 
 
+class TestLibraryValueSemantics:
+    def test_equal_libraries_compare_and_hash_equal(self):
+        first = CellLibrary("lib", [Cell("A", 1, 1.0, 0.1, 1.0)])
+        second = CellLibrary("lib", [Cell("A", 1, 1.0, 0.1, 1.0)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_cells_compare_unequal(self):
+        first = CellLibrary("lib", [Cell("A", 1, 1.0, 0.1, 1.0)])
+        second = CellLibrary("lib", [Cell("A", 1, 2.0, 0.2, 2.0)])
+        assert first != second
+
+    def test_technology_embedding_a_library_stays_hashable(self):
+        from repro.pdk.egfet import default_technology
+
+        assert hash(default_technology()) == hash(default_technology())
+
+
 class TestWidthHelpers:
     @pytest.mark.parametrize(
         "width, expected",
