@@ -1,0 +1,147 @@
+"""Benchmark -- scalar vs. batch inference and Monte-Carlo throughput.
+
+The vectorized engine evaluates whole sample matrices (and whole
+``(n_trials, n_comparators)`` offset matrices) in a handful of ndarray ops
+where the pre-refactor implementation looped in the interpreter, one
+dict-based digit assignment per sample per trial.  This benchmark measures
+both paths on the same trained classifier -- 1k-sample prediction and a
+1k-trial offset Monte-Carlo -- and records samples/sec, trials/sec and the
+resulting speedup so the gain stays visible in the BENCH trajectory.
+
+The scalar reference paths are the *retained* per-row APIs
+(``predict_one_level`` / ``predict_from_assignment``), i.e. exactly the old
+hot loops; the batch numbers use ``predict_levels`` and
+``simulate_offset_variation``.  Both pairs are asserted bit-identical before
+timing, so the speedups compare equal answers.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.core.adc_aware_training import ADCAwareTrainer
+from repro.core.unary_tree import UnaryDecisionTree
+from repro.core.variation import (
+    ComparatorOffsetModel,
+    _predict_with_offsets_scalar,
+    simulate_offset_variation,
+)
+from repro.datasets.registry import load_dataset
+from repro.mltrees.evaluation import accuracy_score, train_test_split
+from repro.mltrees.quantize import quantize_dataset
+from repro.pdk.egfet import default_technology
+
+DATASET = "seeds"
+N_SAMPLES = 1000          # prediction batch size
+N_TRIALS = 1000           # Monte-Carlo trials evaluated by the batch path
+N_SCALAR_TRIALS = 20      # trials actually run through the scalar loop
+SIGMA_V = 0.02
+MIN_SPEEDUP = 10.0
+
+
+def _fit(seed: int):
+    dataset = load_dataset(DATASET, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=seed
+    )
+    tree = ADCAwareTrainer(max_depth=4, gini_threshold=0.01, seed=seed).fit(
+        quantize_dataset(X_train), y_train, dataset.n_classes
+    )
+    repeats = -(-N_SAMPLES // len(X_test))  # ceil division
+    X_big = np.tile(X_test, (repeats, 1))[:N_SAMPLES]
+    y_big = np.tile(y_test, repeats)[:N_SAMPLES]
+    return UnaryDecisionTree(tree), X_big, y_big, X_test, y_test
+
+
+def _measure(seed: int):
+    unary, X_big, _, X_test, y_test = _fit(seed)
+    technology = default_technology()
+    levels_big = quantize_dataset(X_big)
+
+    # -- 1k-sample prediction ------------------------------------------- #
+    start = time.perf_counter()
+    scalar_pred = np.array(
+        [unary.predict_one_level(row) for row in levels_big], dtype=np.int64
+    )
+    scalar_pred_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_pred = unary.predict_levels(levels_big)
+    batch_pred_s = time.perf_counter() - start
+    np.testing.assert_array_equal(batch_pred, scalar_pred)
+
+    # -- offset Monte-Carlo --------------------------------------------- #
+    model = ComparatorOffsetModel(sigma_v=SIGMA_V)
+    rng = np.random.default_rng(seed)
+    comparators = unary.comparators
+    scalar_accuracies = []
+    start = time.perf_counter()
+    for _ in range(N_SCALAR_TRIALS):
+        offsets = dict(zip(comparators, model.sample(rng, len(comparators))))
+        predictions = _predict_with_offsets_scalar(
+            unary, X_test, offsets, technology.vdd
+        )
+        scalar_accuracies.append(accuracy_score(y_test, predictions))
+    scalar_mc_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    analysis = simulate_offset_variation(
+        unary, X_test, y_test, SIGMA_V, n_trials=N_TRIALS,
+        technology=technology, seed=seed,
+    )
+    batch_mc_s = time.perf_counter() - start
+    # Same seed => the first scalar trials must reproduce bit-identically.
+    assert list(analysis.accuracies[:N_SCALAR_TRIALS]) == scalar_accuracies
+
+    scalar_pred_rate = len(levels_big) / scalar_pred_s
+    batch_pred_rate = len(levels_big) / batch_pred_s
+    scalar_mc_rate = N_SCALAR_TRIALS / scalar_mc_s
+    batch_mc_rate = N_TRIALS / batch_mc_s
+    return [
+        {
+            "workload": f"predict {len(levels_big)} samples",
+            "scalar_s": scalar_pred_s,
+            "batch_s": batch_pred_s,
+            "scalar_rate": scalar_pred_rate,
+            "batch_rate": batch_pred_rate,
+            "unit": "samples/s",
+            "speedup": batch_pred_rate / scalar_pred_rate,
+        },
+        {
+            "workload": f"offset Monte-Carlo {N_TRIALS} trials",
+            "scalar_s": scalar_mc_s * (N_TRIALS / N_SCALAR_TRIALS),
+            "batch_s": batch_mc_s,
+            "scalar_rate": scalar_mc_rate,
+            "batch_rate": batch_mc_rate,
+            "unit": "trials/s",
+            "speedup": batch_mc_rate / scalar_mc_rate,
+        },
+    ]
+
+
+def _render(rows) -> str:
+    table = render_table(
+        ["workload", "scalar (s)", "batch (s)", "scalar rate", "batch rate",
+         "unit", "speedup (x)"],
+        [
+            (r["workload"], r["scalar_s"], r["batch_s"], r["scalar_rate"],
+             r["batch_rate"], r["unit"], r["speedup"])
+            for r in rows
+        ],
+    )
+    return (
+        f"Vectorized batch-inference throughput on {DATASET} "
+        f"(scalar Monte-Carlo extrapolated from {N_SCALAR_TRIALS} measured "
+        f"trials)\n" + table
+    )
+
+
+def test_batch_inference_throughput(benchmark, bench_seed, write_report):
+    """Batch prediction and Monte-Carlo are >= 10x faster than the old loops."""
+    rows = benchmark.pedantic(lambda: _measure(bench_seed), rounds=1, iterations=1)
+    write_report("inference_throughput", _render(rows))
+    for row in rows:
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{row['workload']}: only {row['speedup']:.1f}x over the scalar loop"
+        )

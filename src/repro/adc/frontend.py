@@ -17,9 +17,12 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adc.bespoke import BespokeADC
 from repro.adc.encoder import PriorityEncoder
 from repro.adc.flash import FlashADC
+from repro.adc.thermometer import quantize_array_to_levels
 from repro.pdk.egfet import EGFETTechnology, default_technology
 
 
@@ -156,6 +159,20 @@ class ConventionalFrontEnd:
             for feature in self.feature_indices
         }
 
+    def convert_batch(self, X: np.ndarray) -> dict[int, np.ndarray]:
+        """Digitize a whole ``(n_samples, n_features)`` matrix at once.
+
+        Returns ``{feature: level vector}`` with one quantized level per
+        sample, matching :meth:`convert` element for element.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D (n_samples, n_features) matrix")
+        return {
+            feature: quantize_array_to_levels(X[:, feature], bits)
+            for feature, bits in self.channel_resolution.items()
+        }
+
 
 class BespokeFrontEnd:
     """Proposed analog front end: one bespoke ADC per used input, no encoder."""
@@ -214,3 +231,21 @@ class BespokeFrontEnd:
         return {
             feature: adc.convert(sample[feature]) for feature, adc in self.adcs.items()
         }
+
+    def convert_batch(self, X: np.ndarray) -> dict[int, dict[int, np.ndarray]]:
+        """Digitize a whole ``(n_samples, n_features)`` matrix at once.
+
+        Returns ``{feature: {level: digit vector}}`` -- the batch counterpart
+        of :meth:`convert`, directly consumable by
+        :meth:`~repro.core.unary_tree.UnaryDecisionTree.predict_from_digits_batch`.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D (n_samples, n_features) matrix")
+        digits: dict[int, dict[int, np.ndarray]] = {}
+        for feature, adc in self.adcs.items():
+            levels = quantize_array_to_levels(X[:, feature], adc.resolution_bits)
+            digits[feature] = {
+                k: (levels >= k).astype(np.int64) for k in adc.retained_levels
+            }
+        return digits

@@ -11,7 +11,13 @@
 from repro.analysis.render import render_table
 from repro.analysis.figures import fig3_series, fig4_series, fig5_series
 from repro.analysis.tables import table1_rows, table2_rows
-from repro.analysis.experiments import default_store, run_benchmark_suite, suite_result_key
+from repro.analysis.experiments import (
+    default_store,
+    run_benchmark_suite,
+    run_variation_analysis,
+    suite_result_key,
+    variation_result_key,
+)
 from repro.analysis.export import results_to_json, rows_to_csv
 from repro.analysis.stats import MultiSeedSummary, run_multi_seed
 
@@ -23,8 +29,10 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "run_benchmark_suite",
+    "run_variation_analysis",
     "default_store",
     "suite_result_key",
+    "variation_result_key",
     "rows_to_csv",
     "results_to_json",
     "run_multi_seed",

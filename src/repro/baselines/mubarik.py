@@ -16,6 +16,7 @@ import numpy as np
 from repro.adc.frontend import ConventionalFrontEnd
 from repro.adc.thermometer import level_to_binary, quantize_array_to_levels
 from repro.circuits.area_power import AreaPowerReport, estimate_netlist
+from repro.circuits.logic_sim import CompiledNetlist
 from repro.circuits.netlist import Netlist
 from repro.circuits.synthesis import synthesize_constant_comparator, synthesize_sop
 from repro.circuits.two_level import Literal, SumOfProducts
@@ -150,6 +151,7 @@ class BaselineBespokeDesign:
             resolution_bits=tree.resolution_bits,
             technology=self.technology,
         )
+        self._compiled: CompiledNetlist | None = None
 
     # ------------------------------------------------------------------ #
     # cost
@@ -186,25 +188,68 @@ class BaselineBespokeDesign:
                 assignment[feature_bit_variable(feature, weight)] = bool(bit)
         return assignment
 
+    def bit_matrix(self, X_levels: np.ndarray) -> dict[str, np.ndarray]:
+        """Binary-bit input vectors of a whole quantized-sample matrix.
+
+        Batch counterpart of :meth:`bit_assignment`: every input net of the
+        comparator-tree netlist maps to one boolean vector with an entry per
+        sample.
+        """
+        X_levels = np.asarray(X_levels, dtype=np.int64)
+        if X_levels.ndim != 2:
+            raise ValueError("expected a 2-D matrix of quantized samples")
+        resolution = self.tree.resolution_bits
+        assignment: dict[str, np.ndarray] = {}
+        for feature in self.tree.used_features():
+            column = X_levels[:, feature]
+            for weight in range(resolution):
+                assignment[feature_bit_variable(feature, weight)] = (
+                    (column >> weight) & 1
+                ).astype(bool)
+        return assignment
+
+    def _compiled_netlist(self) -> CompiledNetlist:
+        if self._compiled is None:
+            self._compiled = CompiledNetlist(self.netlist)
+        return self._compiled
+
+    def __getstate__(self):
+        # The compiled simulator holds resolved evaluator callables; drop the
+        # cache when pickling (e.g. through the process-pool executor) and
+        # let the receiving side recompile lazily.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
+
     def netlist_predict_one_level(self, levels) -> int:
         """Class predicted by the synthesized netlist for one quantized sample."""
-        from repro.circuits.logic_sim import evaluate_outputs
+        levels = np.asarray(levels, dtype=np.int64)
+        return int(self.netlist_predict_levels(levels[np.newaxis, :])[0])
 
-        outputs = evaluate_outputs(self.netlist, self.bit_assignment(levels))
-        winners = [
-            label
-            for label in range(self.tree.n_classes)
-            if outputs.get(f"class_{label}", False)
-        ]
-        if not winners:
+    def netlist_predict_levels(self, X_levels: np.ndarray) -> np.ndarray:
+        """Netlist predictions of a whole quantized-sample matrix in one pass.
+
+        The netlist is compiled once and every gate evaluates all samples
+        simultaneously as boolean vectors; the winning class per sample is
+        the lowest active one-hot output, mirroring the scalar rule.
+        """
+        compiled = self._compiled_netlist()
+        bits = self.bit_matrix(X_levels)
+        inputs = {net: bits[net] for net in compiled.inputs}
+        outputs = compiled.evaluate_outputs(inputs, n_vectors=len(X_levels))
+        fired = np.column_stack(
+            [
+                outputs.get(f"class_{label}", np.zeros(len(X_levels), dtype=bool))
+                for label in range(self.tree.n_classes)
+            ]
+        )
+        if not fired.any(axis=1).all():
             raise ValueError("baseline netlist produced no active class output")
-        return min(winners)
+        return np.argmax(fired, axis=1).astype(np.int64)
 
     def netlist_predict(self, X: np.ndarray) -> np.ndarray:
-        """Netlist predictions for raw normalized samples (slow; verification only)."""
+        """Netlist predictions for raw normalized samples (verification)."""
         levels = quantize_array_to_levels(
             np.asarray(X, dtype=float), self.tree.resolution_bits
         )
-        return np.array(
-            [self.netlist_predict_one_level(row) for row in levels], dtype=np.int64
-        )
+        return self.netlist_predict_levels(levels)

@@ -8,7 +8,8 @@ behavioral EGFET cell library:
 
 * :mod:`repro.circuits.netlist` -- gate-level netlist data structure with
   validation and topological ordering,
-* :mod:`repro.circuits.logic_sim` -- combinational logic simulator,
+* :mod:`repro.circuits.logic_sim` -- combinational logic simulator (scalar
+  and compiled-batch evaluation over boolean vectors),
 * :mod:`repro.circuits.two_level` -- sum-of-products representation with
   containment-based minimization (the "simple two-level logic" of Fig. 2b),
 * :mod:`repro.circuits.synthesis` -- synthesis primitives: hardwired-constant
@@ -21,7 +22,13 @@ behavioral EGFET cell library:
 """
 
 from repro.circuits.netlist import Gate, Netlist
-from repro.circuits.logic_sim import evaluate_netlist, evaluate_outputs
+from repro.circuits.logic_sim import (
+    CompiledNetlist,
+    evaluate_netlist,
+    evaluate_netlist_batch,
+    evaluate_outputs,
+    evaluate_outputs_batch,
+)
 from repro.circuits.two_level import Literal, SumOfProducts
 from repro.circuits.synthesis import (
     synthesize_and_tree,
@@ -38,8 +45,11 @@ from repro.circuits.timing import TimingReport, estimate_timing
 __all__ = [
     "Gate",
     "Netlist",
+    "CompiledNetlist",
     "evaluate_netlist",
+    "evaluate_netlist_batch",
     "evaluate_outputs",
+    "evaluate_outputs_batch",
     "Literal",
     "SumOfProducts",
     "synthesize_and_tree",

@@ -5,49 +5,189 @@ in topological order.  It is used by the equivalence checker to prove that the
 synthesized bespoke/unary circuits implement exactly the trained decision
 tree, so that reported hardware costs always correspond to a functionally
 correct implementation.
+
+Two evaluation modes share one gate semantics:
+
+* **batch** -- :class:`CompiledNetlist` compiles the netlist once into a
+  topologically ordered op list over integer net slots and then evaluates
+  *all* test vectors simultaneously: every net carries a boolean ndarray with
+  one entry per vector, and each gate is a handful of NumPy array ops.  This
+  is what the equivalence checker and the batched baseline predictors use.
+* **scalar** -- :func:`evaluate_netlist` / :func:`evaluate_outputs` keep the
+  original one-vector ``dict[str, bool]`` API as thin wrappers over a
+  single-row batch, so both paths are the same code and cannot diverge.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from repro.circuits.netlist import Gate, Netlist
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+
+def _and_reduce(ins: list[np.ndarray], n: int) -> np.ndarray:
+    return np.logical_and.reduce(ins) if ins else np.ones(n, dtype=bool)
 
 
-def _eval_gate(gate: Gate, values: Mapping[str, bool]) -> bool:
-    """Evaluate one gate given the values of its input nets."""
-    cell = gate.cell
-    ins = [bool(values[net]) for net in gate.inputs]
-    if cell == "CONST0":
-        return False
-    if cell == "CONST1":
-        return True
-    if cell == "BUF":
-        return ins[0]
-    if cell == "INV":
-        return not ins[0]
-    if cell.startswith("AND"):
-        return all(ins)
-    if cell.startswith("NAND"):
-        return not all(ins)
-    if cell.startswith("OR"):
-        return any(ins)
-    if cell.startswith("NOR"):
-        return not any(ins)
-    if cell == "XOR2":
-        return ins[0] != ins[1]
-    if cell == "XNOR2":
-        return ins[0] == ins[1]
-    if cell == "MUX2":
-        # inputs: (a, b, sel) -> sel ? b : a
-        return ins[1] if ins[2] else ins[0]
-    if cell == "AOI21":
-        # !((a & b) | c)
-        return not ((ins[0] and ins[1]) or ins[2])
-    if cell == "OAI21":
-        # !((a | b) & c)
-        return not ((ins[0] or ins[1]) and ins[2])
+def _or_reduce(ins: list[np.ndarray], n: int) -> np.ndarray:
+    return np.logical_or.reduce(ins) if ins else np.zeros(n, dtype=bool)
+
+
+#: Evaluator per cell name: ``(input arrays, n_vectors) -> output array``.
+#: This table is the single source of truth for which cells the simulator
+#: knows -- compile-time validation resolves against it, so "accepted by
+#: CompiledNetlist" and "evaluable" are the same set by construction.
+_CELL_EVALUATORS: dict = {
+    "CONST0": lambda ins, n: np.zeros(n, dtype=bool),
+    "CONST1": lambda ins, n: np.ones(n, dtype=bool),
+    "BUF": lambda ins, n: ins[0],
+    "INV": lambda ins, n: ~ins[0],
+    "XOR2": lambda ins, n: ins[0] ^ ins[1],
+    "XNOR2": lambda ins, n: ~(ins[0] ^ ins[1]),
+    # inputs: (a, b, sel) -> sel ? b : a
+    "MUX2": lambda ins, n: np.where(ins[2], ins[1], ins[0]),
+    # !((a & b) | c)
+    "AOI21": lambda ins, n: ~((ins[0] & ins[1]) | ins[2]),
+    # !((a | b) & c)
+    "OAI21": lambda ins, n: ~((ins[0] | ins[1]) & ins[2]),
+}
+
+#: Variable-arity families (arity is encoded in the cell name, e.g. AND4).
+_PREFIX_EVALUATORS: tuple = (
+    ("NAND", lambda ins, n: ~_and_reduce(ins, n)),
+    ("NOR", lambda ins, n: ~_or_reduce(ins, n)),
+    ("AND", _and_reduce),
+    ("OR", _or_reduce),
+)
+
+
+def _evaluator_for(cell: str):
+    """Resolve the batch evaluator of ``cell``; raise for unknown cells."""
+    evaluator = _CELL_EVALUATORS.get(cell)
+    if evaluator is not None:
+        return evaluator
+    for prefix, prefix_evaluator in _PREFIX_EVALUATORS:
+        if cell.startswith(prefix):
+            return prefix_evaluator
     raise ValueError(f"logic simulator does not know cell {cell!r}")
+
+
+class CompiledNetlist:
+    """A netlist compiled for repeated batch evaluation.
+
+    Compilation resolves the topological gate order and maps every net to an
+    integer slot once, so evaluating a batch of vectors is a single pass of
+    array ops with no per-call graph work.  Compile once, evaluate many --
+    the equivalence checker and the batched predictors reuse one instance
+    across all their vectors.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.name = netlist.name
+        self.inputs: tuple[str, ...] = tuple(netlist.inputs)
+        self.outputs: tuple[str, ...] = tuple(netlist.outputs)
+        self._net_index: dict[str, int] = {net: i for i, net in enumerate(self.inputs)}
+        ops: list = []
+        for gate in netlist.topological_order():
+            evaluator = _evaluator_for(gate.cell)
+            try:
+                input_slots = tuple(self._net_index[net] for net in gate.inputs)
+            except KeyError as exc:
+                raise ValueError(
+                    f"gate {gate.name!r} input net {exc.args[0]!r} has no driver"
+                ) from exc
+            slot = self._net_index.setdefault(gate.output, len(self._net_index))
+            ops.append((evaluator, input_slots, slot))
+        self._ops = ops
+        missing = [net for net in self.outputs if net not in self._net_index]
+        if missing:
+            raise ValueError(f"primary outputs have no driver: {missing}")
+
+    @property
+    def n_nets(self) -> int:
+        """Number of distinct nets (input + gate-driven)."""
+        return len(self._net_index)
+
+    def _input_slots(
+        self, inputs: Mapping[str, np.ndarray], n_vectors: int | None
+    ) -> tuple[list[np.ndarray | None], int]:
+        missing = [net for net in self.inputs if net not in inputs]
+        if missing:
+            raise KeyError(f"missing values for primary inputs: {missing}")
+        values: list[np.ndarray | None] = [None] * self.n_nets
+        for position, net in enumerate(self.inputs):
+            array = np.asarray(inputs[net], dtype=bool)
+            if array.ndim == 0:
+                array = array.reshape(1)
+            if array.ndim != 1:
+                raise ValueError(
+                    f"input {net!r}: expected a 1-D vector of boolean values, "
+                    f"got shape {array.shape}"
+                )
+            if n_vectors is None:
+                n_vectors = array.shape[0]
+            elif array.shape[0] != n_vectors:
+                raise ValueError(
+                    f"input {net!r} has {array.shape[0]} vectors, expected {n_vectors}"
+                )
+            values[position] = array
+        if n_vectors is None:
+            n_vectors = 1  # input-less netlist (constants only)
+        return values, n_vectors
+
+    def evaluate(
+        self, inputs: Mapping[str, np.ndarray], n_vectors: int | None = None
+    ) -> dict[str, np.ndarray]:
+        """Evaluate a batch of input vectors and return every net's values.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from primary input net name to a boolean vector holding
+            that input's value in every test vector.  All vectors must share
+            one length.
+        n_vectors:
+            Batch size; only needed for netlists without primary inputs
+            (otherwise inferred from the input vectors).
+        """
+        values, n_vectors = self._input_slots(inputs, n_vectors)
+        for evaluator, input_slots, output_slot in self._ops:
+            ins = [values[slot] for slot in input_slots]
+            values[output_slot] = evaluator(ins, n_vectors)
+        return {net: values[slot] for net, slot in self._net_index.items()}
+
+    def evaluate_outputs(
+        self, inputs: Mapping[str, np.ndarray], n_vectors: int | None = None
+    ) -> dict[str, np.ndarray]:
+        """Evaluate a batch and return only the primary output vectors."""
+        values = self.evaluate(inputs, n_vectors)
+        return {net: values[net] for net in self.outputs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledNetlist(name={self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, ops={len(self._ops)})"
+        )
+
+
+def evaluate_netlist_batch(
+    netlist: Netlist, inputs: Mapping[str, np.ndarray], n_vectors: int | None = None
+) -> dict[str, np.ndarray]:
+    """Compile ``netlist`` and evaluate a batch of vectors in one call.
+
+    Convenience wrapper around :class:`CompiledNetlist` for one-shot batch
+    evaluations; callers evaluating the same netlist repeatedly should keep a
+    :class:`CompiledNetlist` instance instead.
+    """
+    return CompiledNetlist(netlist).evaluate(inputs, n_vectors)
+
+
+def evaluate_outputs_batch(
+    netlist: Netlist, inputs: Mapping[str, np.ndarray], n_vectors: int | None = None
+) -> dict[str, np.ndarray]:
+    """Batch counterpart of :func:`evaluate_outputs`."""
+    return CompiledNetlist(netlist).evaluate_outputs(inputs, n_vectors)
 
 
 def evaluate_netlist(netlist: Netlist, inputs: Mapping[str, bool]) -> dict[str, bool]:
@@ -61,13 +201,9 @@ def evaluate_netlist(netlist: Netlist, inputs: Mapping[str, bool]) -> dict[str, 
         Mapping from primary input net name to boolean value.  Every primary
         input must be present.
     """
-    missing = [net for net in netlist.inputs if net not in inputs]
-    if missing:
-        raise KeyError(f"missing values for primary inputs: {missing}")
-    values: dict[str, bool] = {net: bool(inputs[net]) for net in netlist.inputs}
-    for gate in netlist.topological_order():
-        values[gate.output] = _eval_gate(gate, values)
-    return values
+    batch = {net: np.asarray([bool(inputs[net])]) for net in netlist.inputs if net in inputs}
+    values = evaluate_netlist_batch(netlist, batch, n_vectors=1)
+    return {net: bool(vector[0]) for net, vector in values.items()}
 
 
 def evaluate_outputs(netlist: Netlist, inputs: Mapping[str, bool]) -> dict[str, bool]:

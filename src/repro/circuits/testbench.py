@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.circuits.logic_sim import evaluate_outputs
+import numpy as np
+
+from repro.circuits.logic_sim import CompiledNetlist
 from repro.circuits.netlist import Netlist
 from repro.circuits.verilog import sanitize_identifier
 
@@ -66,17 +68,27 @@ def generate_verilog_testbench(
     lines.append("  initial begin")
     lines.append("    errors = 0;")
 
+    # Golden outputs: compile the netlist once and simulate every vector in
+    # a single batch pass instead of re-walking the graph per vector.
     for index, vector in enumerate(vectors):
         missing = [name for name in netlist.inputs if name not in vector]
         if missing:
             raise KeyError(f"vector {index} is missing inputs {missing}")
-        expected = evaluate_outputs(netlist, vector)
+    compiled = CompiledNetlist(netlist)
+    expected_batch = compiled.evaluate_outputs(
+        {
+            name: np.array([bool(vector[name]) for vector in vectors])
+            for name in netlist.inputs
+        },
+        n_vectors=len(vectors),
+    )
+    for index, vector in enumerate(vectors):
         lines.append(f"    // vector {index}")
         for raw_name, clean_name in zip(netlist.inputs, inputs):
             lines.append(f"    {clean_name} = 1'b{1 if vector[raw_name] else 0};")
         lines.append("    #1;")
         for raw_name, clean_name in zip(netlist.outputs, outputs):
-            value = 1 if expected[raw_name] else 0
+            value = 1 if expected_batch[raw_name][index] else 0
             lines.append(
                 f"    if ({clean_name} !== 1'b{value}) begin "
                 f"errors = errors + 1; "

@@ -3,17 +3,23 @@
 Every hardware cost the framework reports should correspond to a circuit that
 actually computes the trained classifier.  This module compares a synthesized
 netlist against an arbitrary reference function, either exhaustively (for
-small input counts) or on a deterministic sample of input vectors.
+small input counts) or on a deterministic sample of *unique* input vectors.
+
+The netlist side is evaluated in one batch through
+:class:`~repro.circuits.logic_sim.CompiledNetlist`: all vectors are generated
+as a boolean matrix up front and every gate of the circuit is evaluated once
+over the whole matrix, so exhaustive checks of the synthesized label logic
+cost a handful of array ops instead of ``2**n`` interpreter passes.
 """
 
 from __future__ import annotations
 
-import itertools
-import random
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.circuits.logic_sim import evaluate_outputs
+import numpy as np
+
+from repro.circuits.logic_sim import CompiledNetlist
 from repro.circuits.netlist import Netlist
 
 
@@ -42,21 +48,58 @@ class EquivalenceResult:
 ReferenceFunction = Callable[[Mapping[str, bool]], Mapping[str, bool]]
 
 
-def _vectors(
+def _exhaustive_matrix(n_inputs: int) -> np.ndarray:
+    """All ``2**n`` input vectors, counting up with input 0 as the MSB."""
+    codes = np.arange(2 ** n_inputs, dtype=np.int64)
+    shifts = np.arange(n_inputs - 1, -1, -1, dtype=np.int64)
+    return ((codes[:, np.newaxis] >> shifts) & 1).astype(bool)
+
+
+def _unique_random_matrix(n_inputs: int, n_vectors: int, seed: int) -> np.ndarray:
+    """``n_vectors`` distinct random input vectors from a seeded Generator.
+
+    Vectors are sampled as integers (bit codes) and deduplicated in draw
+    order, topping the sample up until the requested count of *unique* rows
+    is reached -- the seeded ``np.random.Generator`` keeps checks
+    reproducible while unique rows remove the wasted duplicate evaluations
+    the old per-bit ``random.Random`` sampling allowed.
+    """
+    rng = np.random.default_rng(seed)
+    if n_inputs <= 62:
+        space = 1 << n_inputs
+        target = min(n_vectors, space)
+        chosen: dict[int, None] = {}
+        while len(chosen) < target:
+            draw = rng.integers(0, space, size=2 * (target - len(chosen)), dtype=np.int64)
+            for code in draw:
+                chosen.setdefault(int(code), None)
+                if len(chosen) == target:
+                    break
+        codes = np.fromiter(chosen, dtype=np.int64, count=target)
+        shifts = np.arange(n_inputs - 1, -1, -1, dtype=np.int64)
+        return ((codes[:, np.newaxis] >> shifts) & 1).astype(bool)
+    # Too wide for integer codes: sample bit rows and deduplicate by bytes.
+    chosen_rows: dict[bytes, np.ndarray] = {}
+    while len(chosen_rows) < n_vectors:
+        rows = rng.integers(0, 2, size=(n_vectors - len(chosen_rows), n_inputs)).astype(bool)
+        for row in rows:
+            chosen_rows.setdefault(row.tobytes(), row)
+            if len(chosen_rows) == n_vectors:
+                break
+    return np.stack(list(chosen_rows.values()))
+
+
+def _vector_matrix(
     input_names: Sequence[str],
     exhaustive_limit: int,
     n_random_vectors: int,
     seed: int,
-):
-    """Yield input assignments: exhaustive if small enough, else sampled."""
+) -> np.ndarray:
+    """Boolean ``(n_vectors, n_inputs)`` matrix of the vectors to check."""
     n_inputs = len(input_names)
     if n_inputs <= exhaustive_limit:
-        for bits in itertools.product((False, True), repeat=n_inputs):
-            yield dict(zip(input_names, bits))
-        return
-    rng = random.Random(seed)
-    for _ in range(n_random_vectors):
-        yield {name: bool(rng.getrandbits(1)) for name in input_names}
+        return _exhaustive_matrix(n_inputs)
+    return _unique_random_matrix(n_inputs, n_random_vectors, seed)
 
 
 def check_equivalence(
@@ -79,25 +122,39 @@ def check_equivalence(
     exhaustive_limit:
         Input count up to which all ``2**n`` vectors are enumerated.
     n_random_vectors:
-        Number of pseudo-random vectors used above the exhaustive limit.
+        Number of unique pseudo-random vectors used above the exhaustive
+        limit.
     seed:
         Seed of the random vector generator (checks are reproducible).
     max_recorded_mismatches:
         Cap on the number of counterexamples stored in the result.
     """
+    input_names = netlist.inputs
+    vectors = _vector_matrix(input_names, exhaustive_limit, n_random_vectors, seed)
+    compiled = CompiledNetlist(netlist)
+    outputs = compiled.evaluate_outputs(
+        {name: vectors[:, i] for i, name in enumerate(input_names)},
+        n_vectors=len(vectors),
+    )
+    actual = (
+        np.column_stack([outputs[net] for net in compiled.outputs])
+        if compiled.outputs
+        else np.zeros((len(vectors), 0), dtype=bool)
+    )
+
     mismatches: list[dict[str, bool]] = []
-    n_vectors = 0
-    for assignment in _vectors(netlist.inputs, exhaustive_limit, n_random_vectors, seed):
-        n_vectors += 1
-        actual = evaluate_outputs(netlist, assignment)
+    for row_index in range(len(vectors)):
+        assignment = {
+            name: bool(vectors[row_index, i]) for i, name in enumerate(input_names)
+        }
         expected = reference(assignment)
-        for net in netlist.outputs:
-            if bool(actual[net]) != bool(expected[net]):
+        for position, net in enumerate(compiled.outputs):
+            if bool(actual[row_index, position]) != bool(expected[net]):
                 if len(mismatches) < max_recorded_mismatches:
-                    mismatches.append(dict(assignment))
+                    mismatches.append(assignment)
                 break
     return EquivalenceResult(
         equivalent=not mismatches,
-        n_vectors=n_vectors,
+        n_vectors=len(vectors),
         mismatches=mismatches,
     )

@@ -14,6 +14,19 @@ Run the full Table II comparison on two named benchmarks::
 
     python -m repro.cli table2 --datasets seeds vertebral_2c
 
+Monte-Carlo comparator-offset robustness of a co-designed classifier
+(vectorized across trials; ``--jobs`` fans trial batches over worker
+processes with bit-identical results)::
+
+    python -m repro.cli variation --dataset seeds --trials 1000 --jobs 4
+    python -m repro.cli variation --dataset V3 --sigmas 0 0.01 0.02 0.04
+
+Inspect or maintain the on-disk result store::
+
+    python -m repro.cli cache stats
+    python -m repro.cli cache prune --older-than-days 14
+    python -m repro.cli cache clear
+
 Parallelism and caching
 -----------------------
 The suite commands (``table1``, ``fig4``, ``fig5``, ``table2``) accept
@@ -57,8 +70,9 @@ import sys
 
 from repro.analysis.figures import fig3_series, fig4_series, fig5_series
 from repro.analysis.render import render_table
-from repro.analysis.experiments import run_benchmark_suite
+from repro.analysis.experiments import run_benchmark_suite, run_variation_analysis
 from repro.analysis.tables import table1_rows, table1_summary, table2_rows, table2_summary
+from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
 
 
@@ -67,6 +81,13 @@ def _jobs_argument(value: str) -> int:
     if jobs < 0:
         raise argparse.ArgumentTypeError("must be >= 0 (0 = one worker per CPU)")
     return jobs
+
+
+def _age_days_argument(value: str) -> float:
+    days = float(value)
+    if days < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative number of days")
+    return days
 
 
 def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
@@ -248,6 +269,87 @@ def _cmd_datasheet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_variation(args: argparse.Namespace) -> int:
+    sigmas = tuple(args.sigmas) if args.sigmas else (0.0, 0.005, 0.01, 0.02, 0.04)
+    rows = []
+    for sigma_v in sigmas:
+        analysis = run_variation_analysis(
+            args.dataset,
+            sigma_v=sigma_v,
+            n_trials=args.trials,
+            seed=args.seed,
+            depth=args.depth,
+            tau=args.tau,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        rows.append(
+            (
+                analysis.sigma_v * 1000.0,
+                analysis.nominal_accuracy * 100.0,
+                analysis.mean_accuracy * 100.0,
+                analysis.std_accuracy * 100.0,
+                analysis.min_accuracy * 100.0,
+                analysis.mean_accuracy_drop * 100.0,
+            )
+        )
+    print(
+        f"Monte-Carlo comparator-offset robustness of {args.dataset} "
+        f"(depth {args.depth}, tau {args.tau:g}, {args.trials} trials, "
+        f"seed {args.seed})\n"
+    )
+    print(
+        render_table(
+            ["sigma (mV)", "nominal acc (%)", "mean acc (%)", "std (%)",
+             "worst acc (%)", "mean drop (%)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cache_store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    disk = store.disk_stats()
+    lifetime = store.lifetime_stats()
+    requests = lifetime["hits"] + lifetime["misses"]
+    hit_rate = (lifetime["hits"] / requests * 100.0) if requests else 0.0
+    print(f"store:     {store.cache_dir}")
+    print(f"entries:   {disk.n_entries}  ({disk.total_bytes / 1e6:.2f} MB)")
+    if disk.oldest_age_s is not None:
+        print(
+            f"age:       oldest {disk.oldest_age_s / 86400.0:.1f} d, "
+            f"newest {disk.newest_age_s / 86400.0:.1f} d"
+        )
+    print(
+        f"lifetime:  {lifetime['hits']} hits / {lifetime['misses']} misses "
+        f"({hit_rate:.0f}% hit rate), {lifetime['stores']} stores"
+    )
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.cache_dir}")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    removed = store.prune_older_than(args.older_than_days * 86400.0)
+    print(
+        f"pruned {removed} entries older than {args.older_than_days:g} days "
+        f"from {store.cache_dir}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -269,6 +371,70 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=description)
         _add_suite_arguments(sub)
         sub.set_defaults(handler=handler)
+
+    variation = subparsers.add_parser(
+        "variation",
+        help="Monte-Carlo comparator-offset robustness of a co-designed classifier",
+    )
+    variation.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to analyze"
+    )
+    variation.add_argument(
+        "--sigmas",
+        type=float,
+        nargs="*",
+        default=None,
+        help="offset sigmas in volts (default: 0 5m 10m 20m 40m)",
+    )
+    variation.add_argument(
+        "--trials", type=int, default=100, help="Monte-Carlo trials per sigma"
+    )
+    variation.add_argument("--depth", type=int, default=4, help="tree depth")
+    variation.add_argument("--tau", type=float, default=0.01, help="Gini tolerance")
+    variation.add_argument("--seed", type=int, default=0, help="global seed")
+    variation.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=None,
+        help="worker processes for trial batches (default: serial; 0 = one per CPU)",
+    )
+    variation.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result store "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    variation.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result store and recompute the analysis",
+    )
+    variation.set_defaults(handler=_cmd_variation)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain the on-disk result store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for cache_name, cache_handler, cache_help in [
+        ("stats", _cmd_cache_stats, "entry count, size and lifetime hit/miss totals"),
+        ("clear", _cmd_cache_clear, "drop every stored entry"),
+        ("prune", _cmd_cache_prune, "drop entries older than a given age"),
+    ]:
+        sub = cache_sub.add_parser(cache_name, help=cache_help)
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="directory of the on-disk result store "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+        )
+        if cache_name == "prune":
+            sub.add_argument(
+                "--older-than-days",
+                type=_age_days_argument,
+                required=True,
+                help="drop entries whose last modification is older than this",
+            )
+        sub.set_defaults(handler=cache_handler)
 
     datasheet = subparsers.add_parser(
         "datasheet",

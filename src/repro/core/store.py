@@ -26,6 +26,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 
@@ -100,6 +101,25 @@ class StoreStats:
         self.hits = self.misses = self.stores = 0
 
 
+@dataclass(frozen=True)
+class StoreDiskStats:
+    """On-disk footprint of a :class:`ResultStore` directory.
+
+    Attributes
+    ----------
+    n_entries / total_bytes:
+        Count and cumulative size of the stored entries.
+    oldest_age_s / newest_age_s:
+        Age (seconds since last modification) of the oldest and newest
+        entries; ``None`` when the store is empty.
+    """
+
+    n_entries: int
+    total_bytes: int
+    oldest_age_s: float | None = None
+    newest_age_s: float | None = None
+
+
 def default_cache_dir() -> Path:
     """Default on-disk location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -139,6 +159,9 @@ class ResultStore:
                 f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
             )
         self.stats = StoreStats()
+        #: Snapshot of the counters at the last :meth:`flush_stats`, so the
+        #: flush only adds the delta accumulated since.
+        self._flushed = StoreStats()
 
     # ------------------------------------------------------------------ #
     # keys and paths
@@ -229,6 +252,127 @@ class ResultStore:
         if not self.cache_dir.is_dir():
             return 0
         return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle tooling (repro.cli cache)
+    # ------------------------------------------------------------------ #
+    def disk_stats(self) -> StoreDiskStats:
+        """Entry count, cumulative size and age range of the on-disk store."""
+        n_entries = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except FileNotFoundError:  # concurrently evicted
+                    continue
+                n_entries += 1
+                total_bytes += stat.st_size
+                oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+                newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+        now = time.time()
+        return StoreDiskStats(
+            n_entries=n_entries,
+            total_bytes=total_bytes,
+            oldest_age_s=None if oldest is None else max(0.0, now - oldest),
+            newest_age_s=None if newest is None else max(0.0, now - newest),
+        )
+
+    def prune_older_than(self, max_age_s: float) -> int:
+        """Drop entries untouched for more than ``max_age_s`` seconds.
+
+        Returns the number of removed entries.  Orphaned ``*.tmp`` files past
+        the age limit are swept as well (not counted).
+        """
+        if max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+        removed = 0
+        cutoff = time.time() - max_age_s
+        if self.cache_dir.is_dir():
+            for pattern, counted in (("*.pkl", True), ("*.tmp", False)):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            path.unlink()
+                            removed += int(counted)
+                    except FileNotFoundError:
+                        continue
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # persistent hit/miss accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def _stats_path(self) -> Path:
+        return self.cache_dir / "_stats.json"
+
+    def _read_lifetime_stats(self) -> dict[str, int]:
+        try:
+            with open(self._stats_path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            if not isinstance(raw, dict):
+                raise ValueError("stats file does not hold an object")
+            return {
+                field: int(raw.get(field, 0)) for field in ("hits", "misses", "stores")
+            }
+        except (OSError, ValueError, TypeError):
+            return {"hits": 0, "misses": 0, "stores": 0}
+
+    def _unflushed_delta(self) -> dict[str, int]:
+        return {
+            "hits": self.stats.hits - self._flushed.hits,
+            "misses": self.stats.misses - self._flushed.misses,
+            "stores": self.stats.stores - self._flushed.stores,
+        }
+
+    def flush_stats(self) -> dict[str, int]:
+        """Merge this instance's counters into the store's lifetime totals.
+
+        The totals live in ``_stats.json`` next to the entries, so hit/miss
+        rates accumulate across processes and CI jobs (``repro.cli cache
+        stats`` reports them).  Only the counts accumulated since the last
+        flush are added (the in-memory :attr:`stats` keep counting
+        untouched); concurrent flushes are last-writer-wins, which keeps the
+        totals approximate but never corrupt.  Returns the merged totals.
+        """
+        totals = self._read_lifetime_stats()
+        for field, delta in self._unflushed_delta().items():
+            totals[field] += max(0, delta)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        except OSError:
+            # Read-only store (e.g. a shared CI cache mounted read-only):
+            # reading entries must keep working, so accounting degrades to
+            # the in-memory counters instead of failing the lookup.
+            return totals
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(totals, handle)
+            os.replace(tmp_name, self._stats_path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return totals
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self._flushed = StoreStats(self.stats.hits, self.stats.misses, self.stats.stores)
+        return totals
+
+    def lifetime_stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/store totals (flushed file + unflushed counters)."""
+        totals = self._read_lifetime_stats()
+        for field, delta in self._unflushed_delta().items():
+            totals[field] += max(0, delta)
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore(cache_dir={str(self.cache_dir)!r})"

@@ -47,6 +47,7 @@ class UnaryDecisionTree:
         #: per used feature, the sorted unary-digit levels the logic consumes
         self.required_digits: dict[int, tuple[int, ...]] = tree.required_levels()
         self._label_logic = self._build_label_logic()
+        self._batch_logic = self._compile_batch_logic()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -68,6 +69,15 @@ class UnaryDecisionTree:
             ]
             logic[path.prediction].add_term(term)
         return {label: sop.minimized() for label, sop in logic.items()}
+
+    def _compile_batch_logic(self) -> "_BatchLabelLogic":
+        """Compile the label logic for whole-matrix evaluation."""
+        return _BatchLabelLogic(
+            comparators=self.comparators,
+            digit_index={name: i for i, name in enumerate(self.digit_variables())},
+            label_logic=self._label_logic,
+            n_classes=self.n_classes,
+        )
 
     # ------------------------------------------------------------------ #
     # structure queries
@@ -103,6 +113,19 @@ class UnaryDecisionTree:
             for feature in sorted(self.required_digits)
             for level in self.required_digits[feature]
         ]
+
+    @property
+    def comparators(self) -> tuple[tuple[int, int], ...]:
+        """``(feature, level)`` of every retained comparator, in digit order.
+
+        The order matches :meth:`digit_variables` and is the column order of
+        every digit matrix the batch prediction path consumes.
+        """
+        return tuple(
+            (feature, level)
+            for feature in sorted(self.required_digits)
+            for level in self.required_digits[feature]
+        )
 
     # ------------------------------------------------------------------ #
     # prediction
@@ -150,17 +173,55 @@ class UnaryDecisionTree:
         }
         return self.predict_from_assignment(assignment)
 
-    def predict_levels(self, X_levels: np.ndarray) -> np.ndarray:
-        """Predict classes for a matrix of quantized samples."""
+    # ------------------------------------------------------------------ #
+    # batched prediction
+    # ------------------------------------------------------------------ #
+    def digit_matrix_from_levels(self, X_levels: np.ndarray) -> np.ndarray:
+        """Comparator outputs of a whole quantized-sample matrix at once.
+
+        One broadcast compare replaces the per-sample dict assignment: column
+        ``c`` of the result is ``X_levels[:, feature_c] >= level_c`` for the
+        retained comparator ``c`` (column order = :attr:`comparators`).
+        """
         X_levels = np.asarray(X_levels)
-        return np.array(
-            [self.predict_one_level(row) for row in X_levels], dtype=np.int64
-        )
+        if X_levels.ndim != 2:
+            raise ValueError("expected a 2-D matrix of quantized samples")
+        return self._batch_logic.digits_from_levels(X_levels)
+
+    def predict_digit_matrix(self, digits: np.ndarray) -> np.ndarray:
+        """Predict classes from an ``(n_samples, n_unary_digits)`` digit matrix.
+
+        Columns follow :attr:`comparators`.  Raises ``ValueError`` when any
+        row fires no label function (inconsistent with a thermometer code),
+        mirroring :meth:`predict_from_assignment`.
+        """
+        return self._batch_logic.predict(np.asarray(digits, dtype=bool))
+
+    def predict_levels(self, X_levels: np.ndarray) -> np.ndarray:
+        """Predict classes for a matrix of quantized samples (vectorized)."""
+        return self.predict_digit_matrix(self.digit_matrix_from_levels(X_levels))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict classes for raw normalized samples in ``[0, 1]``."""
         levels = quantize_array_to_levels(np.asarray(X, dtype=float), self.resolution_bits)
         return self.predict_levels(levels)
+
+    def predict_from_digits_batch(
+        self, digits: Mapping[int, Mapping[int, np.ndarray]]
+    ) -> np.ndarray:
+        """Predict from per-feature digit *vectors* of a bespoke front end.
+
+        Batch counterpart of :meth:`predict_from_digits`: every
+        ``digits[feature][level]`` holds one value per sample (the output of
+        :meth:`~repro.adc.frontend.BespokeFrontEnd.convert_batch`).
+        """
+        columns = [
+            np.asarray(digits[feature][level], dtype=bool)
+            for feature, level in self.comparators
+        ]
+        if not columns:
+            raise ValueError("predict_from_digits_batch needs at least one digit vector")
+        return self.predict_digit_matrix(np.column_stack(columns))
 
     # ------------------------------------------------------------------ #
     # hardware
@@ -198,3 +259,67 @@ class UnaryDecisionTree:
             f"UnaryDecisionTree(inputs={self.n_inputs}, "
             f"unary_digits={self.n_unary_digits}, classes={self.n_classes})"
         )
+
+
+class _BatchLabelLogic:
+    """Label logic compiled into index arrays for whole-matrix evaluation.
+
+    Each product term of each label's sum-of-products becomes two column
+    index arrays (positive / negated literals) into the digit matrix, so one
+    term evaluates as ``digits[:, pos].all(1) & (~digits[:, neg]).all(1)``
+    over every sample simultaneously and a label fires where any of its
+    terms does.  The winner per row is the lowest firing label -- identical
+    to the scalar :meth:`UnaryDecisionTree.predict_from_assignment` rule.
+    """
+
+    def __init__(
+        self,
+        comparators: tuple[tuple[int, int], ...],
+        digit_index: dict[str, int],
+        label_logic: Mapping[int, SumOfProducts],
+        n_classes: int,
+    ):
+        self.features = np.array([feature for feature, _ in comparators], dtype=np.intp)
+        self.levels = np.array([level for _, level in comparators], dtype=np.int64)
+        self.n_classes = n_classes
+        #: per label, per term: (positive column indices, negated column indices)
+        self.terms: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for label in range(n_classes):
+            compiled: list[tuple[np.ndarray, np.ndarray]] = []
+            for term in label_logic[label].terms:
+                positive = [digit_index[lit.name] for lit in term if lit.positive]
+                negated = [digit_index[lit.name] for lit in term if not lit.positive]
+                compiled.append(
+                    (
+                        np.array(sorted(positive), dtype=np.intp),
+                        np.array(sorted(negated), dtype=np.intp),
+                    )
+                )
+            self.terms.append(compiled)
+
+    def digits_from_levels(self, X_levels: np.ndarray) -> np.ndarray:
+        """Broadcast compare: digit ``(f, k)`` is ``X_levels[:, f] >= k``."""
+        return X_levels[:, self.features] >= self.levels[np.newaxis, :]
+
+    def fired_matrix(self, digits: np.ndarray) -> np.ndarray:
+        """``(n_samples, n_classes)`` boolean matrix of firing label functions."""
+        n_samples = digits.shape[0]
+        fired = np.zeros((n_samples, self.n_classes), dtype=bool)
+        for label, compiled in enumerate(self.terms):
+            column = fired[:, label]
+            for positive, negated in compiled:
+                term_value = digits[:, positive].all(axis=1)
+                if negated.size:
+                    term_value &= ~digits[:, negated].any(axis=1)
+                column |= term_value
+        return fired
+
+    def predict(self, digits: np.ndarray) -> np.ndarray:
+        """Lowest firing label per row; raises when a row fires none."""
+        fired = self.fired_matrix(digits)
+        if not fired.any(axis=1).all():
+            raise ValueError(
+                "no label function fired; the digit assignment is inconsistent "
+                "with a thermometer code"
+            )
+        return np.argmax(fired, axis=1).astype(np.int64)

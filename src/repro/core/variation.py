@@ -8,6 +8,14 @@ analysis of how such offsets propagate through the unary decision tree to
 classification accuracy -- the variability extension the paper leaves to
 future work, useful for deciding how much offset the printed comparator
 design needs to guarantee.
+
+The evaluation is fully vectorized: one ``(n_trials, n_comparators)`` offset
+matrix is broadcast against the per-comparator thresholds, so every
+Monte-Carlo trial and every sample is a single boolean-array comparison plus
+one batched label-logic pass (no per-sample Python loops).  Trial batches
+optionally fan out across worker processes through
+:class:`~repro.core.executor.Executor` -- results are bit-identical either
+way because all offsets are drawn up front from one seeded stream.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.executor import get_executor
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.mltrees.evaluation import accuracy_score
 from repro.mltrees.tree import DecisionTree
@@ -46,6 +55,19 @@ class ComparatorOffsetModel:
         if self.sigma_v == 0:
             return np.full(size, self.mean_v)
         return rng.normal(self.mean_v, self.sigma_v, size=size)
+
+    def sample_matrix(
+        self, rng: np.random.Generator, n_trials: int, size: int
+    ) -> np.ndarray:
+        """Draw an ``(n_trials, size)`` offset matrix, one row per trial.
+
+        Rows are drawn sequentially with :meth:`sample` so the random stream
+        is consumed exactly as the historical per-trial loop consumed it:
+        ``sample_matrix(rng, t, c)[i]`` equals the ``i``-th of ``t``
+        successive ``sample(rng, c)`` calls, which keeps seeded analyses
+        bit-identical to the pre-vectorization implementation.
+        """
+        return np.stack([self.sample(rng, size) for _ in range(n_trials)])
 
 
 @dataclass(frozen=True)
@@ -85,16 +107,64 @@ class VariationAnalysis:
 def _predict_with_offsets(
     unary: UnaryDecisionTree,
     X: np.ndarray,
+    offset_matrix: np.ndarray,
+    vdd: float,
+) -> np.ndarray:
+    """Predict classes for every (trial, sample) pair under offset voltages.
+
+    Comparator ``(feature, level)`` of trial ``t`` fires when the
+    (normalized) analog input exceeds ``level / 2**N + offsets[t, c] / vdd``.
+
+    Parameters
+    ----------
+    unary:
+        The unary decision tree under analysis.
+    X:
+        ``(n_samples, n_features)`` matrix of normalized analog samples.
+    offset_matrix:
+        ``(n_trials, n_comparators)`` offsets in volts, columns ordered like
+        :attr:`UnaryDecisionTree.comparators`.
+    vdd:
+        Supply (full-scale) voltage of the ADCs.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_trials, n_samples)`` predicted class labels.
+    """
+    X = np.asarray(X, dtype=float)
+    offset_matrix = np.atleast_2d(np.asarray(offset_matrix, dtype=float))
+    comparators = unary.comparators
+    if offset_matrix.shape[1] != len(comparators):
+        raise ValueError(
+            f"offset matrix has {offset_matrix.shape[1]} columns, expected one "
+            f"per retained comparator ({len(comparators)})"
+        )
+    n_levels = 2 ** unary.resolution_bits
+    features = np.array([feature for feature, _ in comparators], dtype=np.intp)
+    levels = np.array([level for _, level in comparators], dtype=float)
+    values = np.clip(X[:, features], 0.0, 1.0)             # (samples, comparators)
+    thresholds = levels / n_levels + offset_matrix / vdd   # (trials, comparators)
+    digits = values[np.newaxis, :, :] >= thresholds[:, np.newaxis, :]
+    n_trials, n_samples = offset_matrix.shape[0], X.shape[0]
+    flat = digits.reshape(n_trials * n_samples, len(comparators))
+    return unary.predict_digit_matrix(flat).reshape(n_trials, n_samples)
+
+
+def _predict_with_offsets_scalar(
+    unary: UnaryDecisionTree,
+    X: np.ndarray,
     offsets: dict[tuple[int, int], float],
     vdd: float,
-    resolution_bits: int,
 ) -> np.ndarray:
-    """Predict classes when each retained comparator has a voltage offset.
+    """Reference implementation: the pre-vectorization per-sample loop.
 
-    Comparator ``(feature, level)`` fires when the (normalized) analog input
-    exceeds ``level / 2**N + offset / vdd``.
+    One trial's offsets as a ``{(feature, level): volts}`` dict, one
+    dict-based digit assignment per sample.  Kept verbatim as the oracle the
+    scalar-vs-batch equivalence tests and the throughput benchmark compare
+    against; no production path uses it.
     """
-    n_levels = 2 ** resolution_bits
+    n_levels = 2 ** unary.resolution_bits
     predictions = np.empty(len(X), dtype=np.int64)
     for row_index, row in enumerate(X):
         assignment: dict[str, bool] = {}
@@ -107,6 +177,18 @@ def _predict_with_offsets(
     return predictions
 
 
+def _trial_batch_accuracies(
+    unary: UnaryDecisionTree,
+    X: np.ndarray,
+    y: np.ndarray,
+    offset_batch: np.ndarray,
+    vdd: float,
+) -> list[float]:
+    """Top-level (picklable) executor job: accuracies of one trial batch."""
+    predictions = _predict_with_offsets(unary, X, offset_batch, vdd)
+    return [accuracy_score(y, row) for row in predictions]
+
+
 def simulate_offset_variation(
     model: UnaryDecisionTree | DecisionTree,
     X: np.ndarray,
@@ -115,6 +197,7 @@ def simulate_offset_variation(
     n_trials: int = 50,
     technology: EGFETTechnology | None = None,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> VariationAnalysis:
     """Monte-Carlo accuracy under Gaussian comparator input offsets.
 
@@ -132,7 +215,11 @@ def simulate_offset_variation(
     technology:
         Supplies the supply voltage (full-scale range) of the ADCs.
     seed:
-        RNG seed; the analysis is reproducible.
+        RNG seed; the analysis is reproducible and independent of ``jobs``.
+    jobs:
+        Worker processes to fan trial batches over (``None``/``1``: in
+        process, ``0``: one per CPU).  All offsets are drawn up front, so
+        parallel runs are bit-identical to serial ones.
     """
     if n_trials < 1:
         raise ValueError("at least one Monte-Carlo trial is required")
@@ -143,11 +230,7 @@ def simulate_offset_variation(
 
     offset_model = ComparatorOffsetModel(sigma_v=sigma_v)
     rng = np.random.default_rng(seed)
-    comparators = [
-        (feature, level)
-        for feature, levels in unary.required_digits.items()
-        for level in levels
-    ]
+    comparators = unary.comparators
 
     nominal = accuracy_score(y, unary.predict(X))
     if not comparators:
@@ -162,14 +245,22 @@ def simulate_offset_variation(
             sigma_v=sigma_v,
         )
 
-    accuracies = []
-    for _ in range(n_trials):
-        samples = offset_model.sample(rng, len(comparators))
-        offsets = dict(zip(comparators, samples))
-        predictions = _predict_with_offsets(
-            unary, X, offsets, technology.vdd, unary.resolution_bits
-        )
-        accuracies.append(accuracy_score(y, predictions))
+    offsets = offset_model.sample_matrix(rng, n_trials, len(comparators))
+    with get_executor(jobs) as executor:
+        if executor.jobs > 1 and n_trials > 1:
+            batches = np.array_split(offsets, min(executor.jobs, n_trials))
+            tasks = [
+                (unary, X, y, batch, technology.vdd)
+                for batch in batches
+                if batch.shape[0]
+            ]
+            accuracies = [
+                accuracy
+                for batch_accuracies in executor.map(_trial_batch_accuracies, tasks)
+                for accuracy in batch_accuracies
+            ]
+        else:
+            accuracies = _trial_batch_accuracies(unary, X, y, offsets, technology.vdd)
 
     accuracies_array = np.asarray(accuracies)
     return VariationAnalysis(
@@ -190,11 +281,13 @@ def offset_tolerance_sweep(
     n_trials: int = 30,
     technology: EGFETTechnology | None = None,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[VariationAnalysis]:
     """Run :func:`simulate_offset_variation` over a grid of offset sigmas."""
     return [
         simulate_offset_variation(
-            model, X, y, sigma_v, n_trials=n_trials, technology=technology, seed=seed
+            model, X, y, sigma_v, n_trials=n_trials, technology=technology,
+            seed=seed, jobs=jobs,
         )
         for sigma_v in sigmas_v
     ]

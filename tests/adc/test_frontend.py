@@ -1,5 +1,6 @@
 """Unit tests for the conventional and bespoke analog front ends."""
 
+import numpy as np
 import pytest
 
 from repro.adc.bespoke import BespokeADC
@@ -99,3 +100,61 @@ class TestBespokeFrontEnd:
         report = frontend.report()
         assert report.n_channels == 2
         assert report.n_comparators == 4
+
+
+class TestBatchConversion:
+    def test_conventional_convert_batch_matches_scalar(self, technology):
+        frontend = ConventionalFrontEnd([0, 2, 3], 4, technology)
+        rng = np.random.default_rng(21)
+        X = rng.random((50, 5))
+        batch = frontend.convert_batch(X)
+        assert set(batch) == set(frontend.feature_indices)
+        for row_index, sample in enumerate(X):
+            scalar = frontend.convert(sample)
+            for feature, level in scalar.items():
+                assert batch[feature][row_index] == level
+
+    def test_conventional_convert_batch_respects_per_input_resolution(self, technology):
+        frontend = ConventionalFrontEnd(
+            [0, 1], 4, technology, per_input_resolution={1: 2}
+        )
+        X = np.array([[0.99, 0.99]])
+        batch = frontend.convert_batch(X)
+        assert batch[0][0] == 15
+        assert batch[1][0] == 3
+
+    def test_conventional_convert_batch_rejects_vectors(self, technology):
+        frontend = ConventionalFrontEnd([0], 4, technology)
+        with pytest.raises(ValueError, match="2-D"):
+            frontend.convert_batch(np.array([0.5, 0.2]))
+
+    def test_bespoke_convert_batch_matches_scalar(self, technology):
+        frontend = BespokeFrontEnd(
+            {
+                0: BespokeADC((3,), technology=technology),
+                2: BespokeADC((1, 2, 6), technology=technology),
+            }
+        )
+        rng = np.random.default_rng(23)
+        X = rng.random((40, 3))
+        batch = frontend.convert_batch(X)
+        for row_index, sample in enumerate(X):
+            scalar = frontend.convert(sample)
+            for feature, per_level in scalar.items():
+                for level, digit in per_level.items():
+                    assert batch[feature][level][row_index] == digit
+
+    def test_bespoke_batch_feeds_unary_tree_prediction(self, small_tree):
+        from repro.core.bespoke_adc import build_bespoke_frontend
+        from repro.core.unary_tree import UnaryDecisionTree
+
+        unary = UnaryDecisionTree(small_tree)
+        bespoke = build_bespoke_frontend(small_tree)
+        rng = np.random.default_rng(29)
+        X = rng.random((30, small_tree.n_features))
+        digits = bespoke.convert_batch(X)
+        batch = unary.predict_from_digits_batch(digits)
+        scalar = np.array(
+            [unary.predict_from_digits(bespoke.convert(sample)) for sample in X]
+        )
+        np.testing.assert_array_equal(batch, scalar)

@@ -249,3 +249,106 @@ class TestCli:
     def test_datasheet_requires_dataset(self):
         with pytest.raises(SystemExit):
             main(["datasheet"])
+
+
+class TestRunVariationAnalysis:
+    def test_computes_and_caches_per_seed_summaries(self, tmp_path):
+        from repro.analysis.experiments import run_variation_analysis
+
+        store = ResultStore(cache_dir=tmp_path / "var-cache")
+        kwargs = dict(
+            sigma_v=0.02, n_trials=5, seed=0, depth=3, tau=0.01, store=store
+        )
+        first = run_variation_analysis("vertebral_2c", **kwargs)
+        assert len(first.accuracies) == 5
+        assert len(store) == 1
+        second = run_variation_analysis("vertebral_2c", **kwargs)
+        assert second.accuracies == first.accuracies
+        assert store.lifetime_stats()["hits"] >= 1
+
+    def test_no_cache_bypasses_store(self, tmp_path):
+        from repro.analysis.experiments import run_variation_analysis
+
+        store = ResultStore(cache_dir=tmp_path / "var-cache")
+        analysis = run_variation_analysis(
+            "vertebral_2c", sigma_v=0.01, n_trials=3, depth=3,
+            store=store, use_cache=False,
+        )
+        assert len(analysis.accuracies) == 3
+        assert len(store) == 0
+
+    def test_dataset_abbreviation_hits_same_entry(self, tmp_path):
+        from repro.analysis.experiments import run_variation_analysis
+
+        store = ResultStore(cache_dir=tmp_path / "var-cache")
+        kwargs = dict(sigma_v=0.02, n_trials=4, depth=3, store=store)
+        run_variation_analysis("vertebral_2c", **kwargs)
+        run_variation_analysis("V2", **kwargs)
+        assert len(store) == 1
+
+
+class TestVariationCommand:
+    def test_variation_command_renders_table(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "variation", "--dataset", "vertebral_2c", "--sigmas", "0", "0.02",
+                "--trials", "5", "--depth", "3",
+                "--cache-dir", str(tmp_path / "cli-var-cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sigma (mV)" in captured.out
+        assert "mean drop (%)" in captured.out
+        assert len(ResultStore(cache_dir=tmp_path / "cli-var-cache")) == 2
+
+    def test_variation_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["variation"])
+
+
+class TestCacheCommand:
+    def test_cache_stats_clear_prune_round_trip(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache-cli"
+        store = ResultStore(cache_dir=cache_dir)
+        store.put(store.make_key(n=1), "payload")
+        store.get(store.make_key(n=1))
+        store.flush_stats()
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   1" in out
+        assert "1 hits" in out
+
+        assert main(
+            ["cache", "prune", "--older-than-days", "30", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert len(store) == 1
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert len(store) == 0
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+
+class TestReadOnlyStoreHits:
+    def test_cache_hit_does_not_require_write_access(self, tmp_path):
+        import os
+
+        from repro.analysis.experiments import run_variation_analysis
+
+        cache_dir = tmp_path / "ro-cache"
+        store = ResultStore(cache_dir=cache_dir)
+        kwargs = dict(sigma_v=0.02, n_trials=4, depth=3)
+        first = run_variation_analysis("vertebral_2c", store=store, **kwargs)
+        os.chmod(cache_dir, 0o555)
+        try:
+            reader = ResultStore(cache_dir=cache_dir)
+            second = run_variation_analysis("vertebral_2c", store=reader, **kwargs)
+            assert second.accuracies == first.accuracies
+        finally:
+            os.chmod(cache_dir, 0o755)

@@ -90,3 +90,39 @@ class TestBaselineBespokeDesign:
         # per-channel bank ~0.6 mm2 / ~0.45 mW plus one shared encoder
         assert report.adc_area_mm2 > 10.0
         assert report.adc_power_uw > 400.0 * n_inputs
+
+
+class TestBatchNetlistPrediction:
+    @pytest.fixture(scope="class")
+    def design(self, small_tree, technology):
+        return BaselineBespokeDesign(small_tree, technology)
+
+    def test_batch_matches_per_row_scalar_api(self, design, small_tree):
+        rng = np.random.default_rng(31)
+        X_levels = rng.integers(0, 16, size=(60, small_tree.n_features))
+        batch = design.netlist_predict_levels(X_levels)
+        scalar = np.array(
+            [design.netlist_predict_one_level(row) for row in X_levels],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_batch_matches_software_tree(self, design, small_tree, small_split):
+        _, X_test_levels, _, _ = small_split
+        np.testing.assert_array_equal(
+            design.netlist_predict_levels(X_test_levels),
+            small_tree.predict_levels(X_test_levels),
+        )
+
+    def test_bit_matrix_matches_bit_assignment(self, design, small_tree):
+        rng = np.random.default_rng(37)
+        X_levels = rng.integers(0, 16, size=(12, small_tree.n_features))
+        matrix = design.bit_matrix(X_levels)
+        for row_index, row in enumerate(X_levels):
+            scalar = design.bit_assignment(row)
+            for net, expected in scalar.items():
+                assert bool(matrix[net][row_index]) == expected
+
+    def test_bit_matrix_rejects_vectors(self, design, small_tree):
+        with pytest.raises(ValueError, match="2-D"):
+            design.bit_matrix(np.zeros(small_tree.n_features, dtype=np.int64))

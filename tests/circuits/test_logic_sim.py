@@ -4,7 +4,13 @@ import itertools
 
 import pytest
 
-from repro.circuits.logic_sim import evaluate_netlist, evaluate_outputs
+from repro.circuits.logic_sim import (
+    CompiledNetlist,
+    evaluate_netlist,
+    evaluate_netlist_batch,
+    evaluate_outputs,
+    evaluate_outputs_batch,
+)
 from repro.circuits.netlist import Netlist
 
 
@@ -117,3 +123,77 @@ class TestSimulatorInterface:
             current = netlist.add_gate("INV", [current])
         netlist.add_output(current)
         assert evaluate_outputs(netlist, {"a": True})[current] is False
+
+
+class TestBatchEvaluation:
+    def _random_label_netlist(self) -> Netlist:
+        """A multi-level netlist exercising every supported cell class."""
+        netlist = Netlist("batch")
+        nets = [netlist.add_input(f"i{k}") for k in range(6)]
+        a = netlist.add_gate("AND3", nets[:3])
+        o = netlist.add_gate("OR3", nets[3:])
+        x = netlist.add_gate("XOR2", [a, o])
+        m = netlist.add_gate("MUX2", [a, o, nets[0]])
+        aoi = netlist.add_gate("AOI21", [x, m, nets[5]])
+        inv = netlist.add_gate("INV", [aoi])
+        netlist.add_gate("NAND2", [inv, nets[1]], output="y0")
+        netlist.add_gate("NOR2", [x, m], output="y1")
+        netlist.add_output("y0")
+        netlist.add_output("y1")
+        return netlist
+
+    def test_batch_matches_scalar_on_all_vectors(self):
+        netlist = self._random_label_netlist()
+        vectors = list(itertools.product((False, True), repeat=6))
+        matrix = {
+            name: [vector[i] for vector in vectors]
+            for i, name in enumerate(netlist.inputs)
+        }
+        batch = evaluate_outputs_batch(netlist, matrix)
+        for row, vector in enumerate(vectors):
+            scalar = evaluate_outputs(netlist, dict(zip(netlist.inputs, vector)))
+            for net in netlist.outputs:
+                assert bool(batch[net][row]) == scalar[net]
+
+    def test_compiled_netlist_is_reusable(self):
+        netlist = self._random_label_netlist()
+        compiled = CompiledNetlist(netlist)
+        first = compiled.evaluate_outputs({name: [True] for name in netlist.inputs})
+        second = compiled.evaluate_outputs({name: [True] for name in netlist.inputs})
+        for net in netlist.outputs:
+            assert bool(first[net][0]) == bool(second[net][0])
+
+    def test_batch_returns_internal_nets_too(self):
+        netlist = Netlist("internal_batch")
+        a = netlist.add_input("a")
+        mid = netlist.add_gate("INV", [a])
+        netlist.add_gate("INV", [mid], output="y")
+        netlist.add_output("y")
+        values = evaluate_netlist_batch(netlist, {"a": [True, False]})
+        assert list(values[mid]) == [False, True]
+        assert list(values["y"]) == [True, False]
+
+    def test_missing_input_raises(self):
+        netlist = _two_input_netlist("AND2")
+        with pytest.raises(KeyError, match="missing"):
+            evaluate_outputs_batch(netlist, {"a": [True]})
+
+    def test_mismatched_vector_lengths_rejected(self):
+        netlist = _two_input_netlist("AND2")
+        with pytest.raises(ValueError, match="vectors"):
+            evaluate_outputs_batch(netlist, {"a": [True, False], "b": [True]})
+
+    def test_unknown_cell_rejected_at_compile_time(self):
+        netlist = Netlist("bad_batch")
+        a = netlist.add_input("a")
+        netlist.add_gate("MYSTERY", [a], output="y")
+        netlist.add_output("y")
+        with pytest.raises(ValueError, match="MYSTERY"):
+            CompiledNetlist(netlist)
+
+    def test_inputless_netlist_uses_explicit_batch_size(self):
+        netlist = Netlist("const_batch")
+        netlist.add_constant(True, output="one")
+        netlist.add_output("one")
+        values = evaluate_outputs_batch(netlist, {}, n_vectors=3)
+        assert list(values["one"]) == [True, True, True]

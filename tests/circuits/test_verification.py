@@ -1,8 +1,10 @@
 """Unit tests for netlist-vs-reference equivalence checking."""
 
 
+import numpy as np
+
 from repro.circuits.netlist import Netlist
-from repro.circuits.verification import check_equivalence
+from repro.circuits.verification import _vector_matrix, check_equivalence
 
 
 def _xor_netlist() -> Netlist:
@@ -71,3 +73,44 @@ class TestCheckEquivalence:
         )
         assert not result.equivalent
         assert len(result.mismatches) == 1
+
+
+class TestVectorSampling:
+    def test_exhaustive_order_counts_up_msb_first(self):
+        matrix = _vector_matrix(["a", "b"], exhaustive_limit=4, n_random_vectors=10, seed=0)
+        assert matrix.tolist() == [
+            [False, False], [False, True], [True, False], [True, True],
+        ]
+
+    def test_random_vectors_are_unique(self):
+        matrix = _vector_matrix(
+            [f"i{k}" for k in range(14)], exhaustive_limit=8,
+            n_random_vectors=500, seed=2,
+        )
+        assert matrix.shape == (500, 14)
+        assert len({row.tobytes() for row in matrix}) == 500
+
+    def test_random_sampling_is_deterministic_per_seed(self):
+        names = [f"i{k}" for k in range(16)]
+        first = _vector_matrix(names, 8, 100, seed=5)
+        second = _vector_matrix(names, 8, 100, seed=5)
+        np.testing.assert_array_equal(first, second)
+        third = _vector_matrix(names, 8, 100, seed=6)
+        assert not np.array_equal(first, third)
+
+    def test_request_larger_than_space_caps_at_unique_vectors(self):
+        # 2**4 = 16 < 100 requested: every distinct vector appears exactly once.
+        matrix = _vector_matrix(
+            [f"i{k}" for k in range(4)], exhaustive_limit=2,
+            n_random_vectors=100, seed=1,
+        )
+        assert matrix.shape == (16, 4)
+        assert len({row.tobytes() for row in matrix}) == 16
+
+    def test_very_wide_inputs_sample_unique_rows(self):
+        matrix = _vector_matrix(
+            [f"i{k}" for k in range(70)], exhaustive_limit=12,
+            n_random_vectors=64, seed=9,
+        )
+        assert matrix.shape == (64, 70)
+        assert len({row.tobytes() for row in matrix}) == 64

@@ -1,6 +1,8 @@
 """Unit tests for the content-addressed on-disk result store."""
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -109,3 +111,102 @@ class TestResultStore:
         store.get(make_key(n=5))
         store.stats.reset()
         assert (store.stats.hits, store.stats.misses, store.stats.stores) == (0, 0, 0)
+
+
+class TestStoreLifecycle:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return ResultStore(cache_dir=tmp_path / "cache")
+
+    def test_disk_stats_empty_store(self, store):
+        stats = store.disk_stats()
+        assert stats.n_entries == 0
+        assert stats.total_bytes == 0
+        assert stats.oldest_age_s is None
+        assert stats.newest_age_s is None
+
+    def test_disk_stats_counts_entries_and_bytes(self, store):
+        store.put(make_key(n=1), "a")
+        store.put(make_key(n=2), list(range(100)))
+        stats = store.disk_stats()
+        assert stats.n_entries == 2
+        assert stats.total_bytes > 0
+        assert stats.oldest_age_s >= stats.newest_age_s >= 0.0
+
+    def test_prune_older_than_drops_only_old_entries(self, store):
+        old_key, new_key = make_key(n=1), make_key(n=2)
+        store.put(old_key, "old")
+        ancient = time.time() - 10 * 86400
+        os.utime(store.path_for(old_key), (ancient, ancient))
+        store.put(new_key, "new")
+        assert store.prune_older_than(86400.0) == 1
+        assert old_key not in store
+        assert new_key in store
+
+    def test_prune_rejects_negative_age(self, store):
+        with pytest.raises(ValueError):
+            store.prune_older_than(-1.0)
+
+    def test_prune_sweeps_old_tmp_files_without_counting_them(self, store):
+        store.put(make_key(n=1), "keep")
+        orphan = store.cache_dir / "deadbeef.tmp"
+        orphan.write_bytes(b"partial")
+        ancient = time.time() - 10 * 86400
+        os.utime(orphan, (ancient, ancient))
+        assert store.prune_older_than(86400.0) == 0
+        assert not orphan.exists()
+
+    def test_flush_stats_accumulates_across_instances(self, store):
+        key = make_key(n=1)
+        store.get(key)            # miss
+        store.put(key, "value")   # store
+        store.get(key)            # hit
+        totals = store.flush_stats()
+        assert totals == {"hits": 1, "misses": 1, "stores": 1}
+        assert store.stats.hits == 1  # in-memory counters keep counting
+        assert store.flush_stats() == totals  # re-flush adds nothing new
+        other = ResultStore(cache_dir=store.cache_dir)
+        other.get(key)            # hit
+        assert other.lifetime_stats() == {"hits": 2, "misses": 1, "stores": 1}
+
+    def test_lifetime_stats_tolerates_corrupt_file(self, store):
+        store.put(make_key(n=1), "x")
+        store.flush_stats()
+        (store.cache_dir / "_stats.json").write_text("not json at all")
+        assert store.lifetime_stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_stats_file_is_not_an_entry(self, store):
+        store.put(make_key(n=1), "x")
+        store.flush_stats()
+        assert len(store) == 1
+        assert store.disk_stats().n_entries == 1
+
+    def test_lifetime_stats_tolerates_non_object_json(self, store):
+        store.put(make_key(n=1), "x")
+        store.flush_stats()
+        (store.cache_dir / "_stats.json").write_text("[1, 2, 3]")
+        assert store.lifetime_stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_flush_stats_degrades_gracefully_on_read_only_store(
+        self, store, monkeypatch
+    ):
+        # chmod tricks are a no-op under root, so force the unwritable-store
+        # branch deterministically by making the stats tempfile creation fail.
+        import tempfile
+
+        key = make_key(n=1)
+        store.put(key, "payload")
+        store.flush_stats()
+        reader = ResultStore(cache_dir=store.cache_dir)
+        assert reader.get(key) == "payload"   # pure reads keep working
+
+        def _denied(*args, **kwargs):
+            raise PermissionError("read-only store")
+
+        monkeypatch.setattr(tempfile, "mkstemp", _denied)
+        totals = reader.flush_stats()         # accounting degrades, no raise
+        assert totals["hits"] >= 1
+        monkeypatch.undo()
+        # nothing was lost while read-only; a later flush persists the hit
+        assert reader.flush_stats()["hits"] == 1
+        assert ResultStore(cache_dir=store.cache_dir).lifetime_stats()["hits"] == 1
