@@ -10,15 +10,26 @@
 
 from repro.analysis.render import render_table
 from repro.analysis.figures import fig3_series, fig4_series, fig5_series
-from repro.analysis.tables import table1_rows, table2_rows
+from repro.analysis.tables import (
+    exploration_rows,
+    table1_rows,
+    table2_robust_rows,
+    table2_rows,
+)
 from repro.analysis.experiments import (
+    RobustExploration,
     default_store,
     run_benchmark_suite,
+    run_robust_exploration,
     run_variation_analysis,
     suite_result_key,
     variation_result_key,
 )
-from repro.analysis.export import results_to_json, rows_to_csv
+from repro.analysis.export import (
+    results_to_json,
+    robust_exploration_to_json,
+    rows_to_csv,
+)
 from repro.analysis.stats import MultiSeedSummary, run_multi_seed
 
 __all__ = [
@@ -28,13 +39,18 @@ __all__ = [
     "fig5_series",
     "table1_rows",
     "table2_rows",
+    "table2_robust_rows",
+    "exploration_rows",
     "run_benchmark_suite",
     "run_variation_analysis",
+    "run_robust_exploration",
+    "RobustExploration",
     "default_store",
     "suite_result_key",
     "variation_result_key",
     "rows_to_csv",
     "results_to_json",
+    "robust_exploration_to_json",
     "run_multi_seed",
     "MultiSeedSummary",
 ]

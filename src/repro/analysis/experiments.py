@@ -27,18 +27,35 @@ comparator-offset robustness study: per-seed
 :class:`~repro.core.variation.VariationAnalysis` summaries are cached in the
 store and trial batches fan out through the executor (``repro.cli
 variation``).
+
+:func:`run_robust_exploration` composes both layers into the variation-aware
+design-space exploration (``repro.cli explore``): the nominal depth x tau
+sweep comes from the suite cache, and every design point is then annotated
+with a per-point robustness summary cached under the same variation keys --
+so ``variation``, ``explore`` and the offset-aware Table II all share one
+pool of Monte-Carlo results.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
 from repro.core.codesign import CoDesignFramework, CoDesignResult
 from repro.core.executor import Executor, get_executor
-from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS
+from repro.core.exploration import (
+    DEFAULT_DEPTHS,
+    DEFAULT_TAUS,
+    DesignPoint,
+    select_best_design,
+)
 from repro.core.store import ResultStore, make_key
-from repro.core.variation import VariationAnalysis, simulate_offset_variation
+from repro.core.variation import (
+    VariationAnalysis,
+    simulate_offset_variation,
+    variation_result_key,
+)
 from repro.datasets.registry import canonical_name, dataset_names, load_dataset
 from repro.pdk.egfet import default_technology
 
@@ -91,6 +108,21 @@ def default_store() -> ResultStore:
 def clear_memo() -> None:
     """Drop the in-process memo (the on-disk store is left untouched)."""
     _MEMO.clear()
+
+
+def resolve_suite_datasets(
+    datasets: tuple[str, ...] | None = None, fast: bool = False
+) -> tuple[str, ...]:
+    """Resolve a suite request to the benchmark list it will actually run.
+
+    ``None`` selects every registered benchmark (or the four small ones when
+    ``fast``); explicit names/abbreviations pass through unchanged.  Single
+    source of truth for :func:`run_benchmark_suite` and the CLI, so suite
+    commands and their offset-aware variants can never diverge on defaults.
+    """
+    if datasets is None:
+        return FAST_DATASETS if fast else tuple(dataset_names())
+    return tuple(datasets)
 
 
 def suite_result_key(
@@ -184,10 +216,7 @@ def run_benchmark_suite(
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
-    if datasets is None:
-        requested = FAST_DATASETS if fast else tuple(dataset_names())
-    else:
-        requested = tuple(datasets)
+    requested = resolve_suite_datasets(datasets, fast)
     names = [canonical_name(name) for name in requested]
 
     if use_cache and store is None:
@@ -250,27 +279,6 @@ def run_benchmark_suite(
     if use_cache and store is not None:
         store.flush_stats()
     return [resolved[name] for name in names]
-
-
-def variation_result_key(
-    dataset: str,
-    seed: int,
-    sigma_v: float,
-    n_trials: int,
-    depth: int,
-    tau: float,
-) -> str:
-    """Content-address one Monte-Carlo offset-variation run."""
-    return make_key(
-        kind="offset_variation",
-        dataset=canonical_name(dataset),
-        seed=seed,
-        sigma_v=float(sigma_v),
-        n_trials=int(n_trials),
-        depth=int(depth),
-        tau=float(tau),
-        technology=default_technology(),
-    )
 
 
 @lru_cache(maxsize=8)
@@ -339,3 +347,99 @@ def run_variation_analysis(
         store.put(key, analysis)
         store.flush_stats()
     return analysis
+
+
+@dataclass(frozen=True)
+class RobustExploration:
+    """A depth x tau exploration with per-point robustness columns.
+
+    Produced by :func:`run_robust_exploration`: every design point carries
+    the nominal accuracy/hardware numbers *and* a comparator-offset
+    Monte-Carlo summary at ``sigma_v``, so designs can be selected under the
+    joint (accuracy loss, mean accuracy drop) constraint of the offset-aware
+    Table II.
+    """
+
+    dataset: str
+    sigma_v: float
+    n_trials: int
+    baseline_accuracy: float
+    points: tuple[DesignPoint, ...]
+
+    def select(
+        self,
+        max_accuracy_loss: float = 0.01,
+        max_accuracy_drop: float | None = None,
+        objective: str = "power",
+    ) -> DesignPoint | None:
+        """Constrained selection over the robustness-annotated grid."""
+        return select_best_design(
+            list(self.points),
+            self.baseline_accuracy,
+            max_accuracy_loss,
+            objective=objective,
+            max_accuracy_drop=max_accuracy_drop,
+        )
+
+
+def run_robust_exploration(
+    dataset: str,
+    sigma_v: float,
+    n_trials: int = 100,
+    seed: int = 0,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    taus: tuple[float, ...] = DEFAULT_TAUS,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    store: ResultStore | None = None,
+    use_cache: bool = True,
+) -> RobustExploration:
+    """Variation-aware design-space exploration of one benchmark.
+
+    Composes the two cache layers: the nominal depth x tau sweep (and the
+    baseline it is measured against) comes from the per-dataset suite cache
+    of :func:`run_benchmark_suite`, and the robustness pass then attaches one
+    cached :class:`~repro.core.variation.VariationAnalysis` per design point
+    (the per-seed variation keys shared with ``repro.cli variation``).  Only
+    points absent from the store are Monte-Carlo-simulated, fanned out
+    across ``jobs`` worker processes with bit-identical results.
+    """
+    name = canonical_name(dataset)
+    (result,) = run_benchmark_suite(
+        datasets=(name,),
+        seed=seed,
+        include_approximate_baseline=False,
+        depths=depths,
+        taus=taus,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        store=store,
+        use_cache=use_cache,
+    )
+    if use_cache and store is None:
+        store = ResultStore(cache_dir) if cache_dir is not None else default_store()
+
+    data = load_dataset(name, seed=seed)
+    with get_executor(jobs) as executor:
+        framework = CoDesignFramework(
+            depths=tuple(depths),
+            taus=tuple(taus),
+            seed=seed,
+            executor=executor if executor.jobs > 1 else None,
+        )
+        points = framework.run_robustness(
+            data,
+            result.exploration,
+            sigma_v=sigma_v,
+            n_trials=n_trials,
+            store=store if use_cache else None,
+        )
+    if use_cache and store is not None:
+        store.flush_stats()
+    return RobustExploration(
+        dataset=result.dataset,
+        sigma_v=float(sigma_v),
+        n_trials=int(n_trials),
+        baseline_accuracy=result.baseline.accuracy,
+        points=tuple(points),
+    )

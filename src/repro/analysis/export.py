@@ -79,17 +79,67 @@ def result_to_dict(result: CoDesignResult, include_exploration: bool = False) ->
         ),
     }
     if include_exploration:
-        payload["exploration"] = [
-            {
-                "depth": point.depth,
-                "tau": point.tau,
-                "accuracy": point.accuracy,
-                "total_area_mm2": point.hardware.total_area_mm2,
-                "total_power_mw": point.hardware.total_power_mw,
-            }
-            for point in result.exploration
-        ]
+        payload["exploration"] = [design_point_to_dict(point) for point in result.exploration]
     return payload
+
+
+def design_point_to_dict(point) -> dict:
+    """JSON-friendly representation of one design point.
+
+    The robustness columns are ``None`` for points that have not been
+    through the variation-aware Monte-Carlo pass.
+    """
+    return {
+        "depth": point.depth,
+        "tau": point.tau,
+        "accuracy": point.accuracy,
+        "total_area_mm2": point.hardware.total_area_mm2,
+        "total_power_mw": point.hardware.total_power_mw,
+        "mean_accuracy_drop": point.mean_accuracy_drop,
+        "worst_case_drop": point.worst_case_drop,
+    }
+
+
+def robust_exploration_to_dict(exploration, max_accuracy_loss: float = 0.01,
+                               max_accuracy_drop: float | None = None,
+                               objective: str = "power") -> dict:
+    """JSON-friendly representation of a variation-aware exploration.
+
+    Includes the full robustness-annotated grid and, when a selection under
+    the given constraints exists, the chosen design point.
+    """
+    selected = exploration.select(
+        max_accuracy_loss=max_accuracy_loss,
+        max_accuracy_drop=max_accuracy_drop,
+        objective=objective,
+    )
+    return {
+        "dataset": exploration.dataset,
+        "sigma_v": exploration.sigma_v,
+        "n_trials": exploration.n_trials,
+        "baseline_accuracy": exploration.baseline_accuracy,
+        "constraints": {
+            "max_accuracy_loss": max_accuracy_loss,
+            "max_accuracy_drop": max_accuracy_drop,
+            "objective": objective,
+        },
+        "selected": None if selected is None else design_point_to_dict(selected),
+        "points": [design_point_to_dict(point) for point in exploration.points],
+    }
+
+
+def robust_exploration_to_json(exploration, path: str | Path,
+                               max_accuracy_loss: float = 0.01,
+                               max_accuracy_drop: float | None = None,
+                               objective: str = "power") -> Path:
+    """Write a variation-aware exploration to a JSON file."""
+    path = Path(path)
+    payload = robust_exploration_to_dict(
+        exploration, max_accuracy_loss=max_accuracy_loss,
+        max_accuracy_drop=max_accuracy_drop, objective=objective,
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def results_to_json(

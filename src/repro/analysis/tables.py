@@ -1,10 +1,12 @@
-"""Rows of the paper's Tables I and II."""
+"""Rows of the paper's Tables I and II (and their offset-aware variants)."""
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from statistics import mean
 
 from repro.core.codesign import CoDesignResult
+from repro.core.exploration import DesignPoint
 from repro.core.power_budget import analyze_self_power
 
 
@@ -79,6 +81,106 @@ def table2_rows(results: list[CoDesignResult], accuracy_loss: float = 0.01) -> l
             }
         )
     return rows
+
+
+def exploration_rows(points: Sequence[DesignPoint]) -> list[dict]:
+    """One row per design point of a (robustness-annotated) exploration.
+
+    The ``mean_accuracy_drop_pct`` / ``worst_case_drop_pct`` columns are
+    ``None`` for points that have not been through the variation-aware pass.
+    """
+    rows = []
+    for point in points:
+        rows.append(
+            {
+                "dataset": point.dataset,
+                "depth": point.depth,
+                "tau": point.tau,
+                "accuracy_pct": point.accuracy * 100.0,
+                "area_mm2": point.hardware.total_area_mm2,
+                "power_mw": point.hardware.total_power_mw,
+                "mean_accuracy_drop_pct": (
+                    None
+                    if point.mean_accuracy_drop is None
+                    else point.mean_accuracy_drop * 100.0
+                ),
+                "worst_case_drop_pct": (
+                    None
+                    if point.worst_case_drop is None
+                    else point.worst_case_drop * 100.0
+                ),
+            }
+        )
+    return rows
+
+
+def table2_robust_rows(
+    explorations: Sequence,
+    accuracy_loss: float = 0.01,
+    max_accuracy_drop: float | None = 0.01,
+) -> list[dict]:
+    """Offset-aware Table II: co-design selection under a robustness budget.
+
+    One row per benchmark from a
+    :class:`~repro.analysis.experiments.RobustExploration`: the most
+    power-efficient design meeting *both* the nominal accuracy-loss
+    constraint and the ``max_accuracy_drop`` mean-robustness constraint,
+    with its Monte-Carlo drop columns.  Benchmarks where no design satisfies
+    the joint constraint report a ``feasible = False`` row (the selection
+    columns are ``None``) instead of silently disappearing.
+    """
+    rows = []
+    for exploration in explorations:
+        point = exploration.select(
+            max_accuracy_loss=accuracy_loss, max_accuracy_drop=max_accuracy_drop
+        )
+        row = {
+            "dataset": exploration.dataset,
+            "sigma_mv": exploration.sigma_v * 1000.0,
+            "n_trials": exploration.n_trials,
+            "feasible": point is not None,
+            "depth": None,
+            "tau": None,
+            "accuracy_pct": None,
+            "mean_accuracy_drop_pct": None,
+            "worst_case_drop_pct": None,
+            "area_mm2": None,
+            "power_mw": None,
+        }
+        if point is not None:
+            row.update(
+                {
+                    "depth": point.depth,
+                    "tau": point.tau,
+                    "accuracy_pct": point.accuracy * 100.0,
+                    "mean_accuracy_drop_pct": point.mean_accuracy_drop * 100.0,
+                    "worst_case_drop_pct": point.worst_case_drop * 100.0,
+                    "area_mm2": point.hardware.total_area_mm2,
+                    "power_mw": point.hardware.total_power_mw,
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+def table2_robust_summary(rows: list[dict]) -> dict:
+    """Averages over the feasible rows of the offset-aware Table II."""
+    feasible = [row for row in rows if row["feasible"]]
+    if not feasible:
+        return {
+            "n_feasible": 0,
+            "average_power_mw": 0.0,
+            "average_area_mm2": 0.0,
+            "average_mean_accuracy_drop_pct": 0.0,
+        }
+    return {
+        "n_feasible": len(feasible),
+        "average_power_mw": mean(r["power_mw"] for r in feasible),
+        "average_area_mm2": mean(r["area_mm2"] for r in feasible),
+        "average_mean_accuracy_drop_pct": mean(
+            r["mean_accuracy_drop_pct"] for r in feasible
+        ),
+    }
 
 
 def table2_summary(rows: list[dict]) -> dict:

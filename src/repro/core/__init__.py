@@ -49,6 +49,7 @@ from repro.core.variation import (
     VariationAnalysis,
     offset_tolerance_sweep,
     simulate_offset_variation,
+    variation_result_key,
 )
 from repro.core.datasheet import generate_datasheet
 from repro.core.codesign import CoDesignFramework, CoDesignResult
@@ -84,5 +85,6 @@ __all__ = [
     "VariationAnalysis",
     "simulate_offset_variation",
     "offset_tolerance_sweep",
+    "variation_result_key",
     "generate_datasheet",
 ]

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.mltrees.cart import GINI_TIE_TOLERANCE
 from repro.mltrees.split_search import (
+    CandidateTable,
     SplitCandidate,
     class_histogram,
     enumerate_split_candidates,
@@ -41,31 +42,87 @@ from repro.mltrees.tree import DecisionTree, TreeNode
 
 @dataclass(frozen=True)
 class SplitCostSets:
-    """Partition of the tolerance set ``S`` by induced ADC hardware cost."""
+    """Partition of the tolerance set ``S`` by induced ADC hardware cost.
 
-    zero_cost: tuple[SplitCandidate, ...]
-    medium_cost: tuple[SplitCandidate, ...]
-    high_cost: tuple[SplitCandidate, ...]
+    Members are :class:`CandidateTable` sub-tables on the columnar path, or
+    tuples of :class:`SplitCandidate` when built from an object list; both
+    support ``len``, truth-testing and iteration, so cost-ordering logic is
+    agnostic to the representation.
+    """
+
+    zero_cost: CandidateTable | tuple[SplitCandidate, ...]
+    medium_cost: CandidateTable | tuple[SplitCandidate, ...]
+    high_cost: CandidateTable | tuple[SplitCandidate, ...]
+
+
+def _cost_masks(
+    table: CandidateTable,
+    selected_pairs: set[tuple[int, int]],
+    selected_features: set[int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Boolean masks of the S_Z / S_M / S_H rows of a candidate table.
+
+    Membership is tested through dense boolean lookup tables (the feature /
+    level universe is tiny: ``n_features x 2**resolution_bits``), so the cost
+    per node is one fancy-index gather per set rather than a sort-based
+    ``isin``.
+    """
+    n = len(table)
+    if selected_pairs and n:
+        pair_features = [feature for feature, _ in selected_pairs]
+        pair_levels = [level for _, level in selected_pairs]
+        lookup = np.zeros(
+            (
+                max(int(table.feature.max()), max(pair_features)) + 1,
+                max(int(table.threshold_level.max()), max(pair_levels)) + 1,
+            ),
+            dtype=bool,
+        )
+        lookup[pair_features, pair_levels] = True
+        zero = lookup[table.feature, table.threshold_level]
+    else:
+        zero = np.zeros(n, dtype=bool)
+    if selected_features and n:
+        known = np.zeros(
+            max(int(table.feature.max()), max(selected_features)) + 1, dtype=bool
+        )
+        known[list(selected_features)] = True
+        on_known_input = known[table.feature]
+    else:
+        on_known_input = np.zeros(n, dtype=bool)
+    medium = on_known_input & ~zero
+    high = ~on_known_input & ~zero
+    return zero, medium, high
 
 
 def partition_by_cost(
-    candidates: list[SplitCandidate],
+    candidates: CandidateTable | list[SplitCandidate],
     selected_pairs: set[tuple[int, int]],
     selected_features: set[int],
 ) -> SplitCostSets:
-    """Split ``candidates`` into the S_Z / S_M / S_H sets of Algorithm 1."""
-    zero: list[SplitCandidate] = []
-    medium: list[SplitCandidate] = []
-    high: list[SplitCandidate] = []
+    """Split ``candidates`` into the S_Z / S_M / S_H sets of Algorithm 1.
+
+    A :class:`CandidateTable` is partitioned with vectorized membership
+    tests into three sub-tables; object-based candidate lists keep the
+    historical per-candidate scan and return tuples.
+    """
+    if isinstance(candidates, CandidateTable):
+        zero, medium, high = _cost_masks(candidates, selected_pairs, selected_features)
+        return SplitCostSets(
+            candidates.select(zero), candidates.select(medium), candidates.select(high)
+        )
+    zero_list: list[SplitCandidate] = []
+    medium_list: list[SplitCandidate] = []
+    high_list: list[SplitCandidate] = []
     for candidate in candidates:
         pair = (candidate.feature, candidate.threshold_level)
         if pair in selected_pairs:
-            zero.append(candidate)
+            zero_list.append(candidate)
         elif candidate.feature in selected_features:
-            medium.append(candidate)
+            medium_list.append(candidate)
         else:
-            high.append(candidate)
-    return SplitCostSets(tuple(zero), tuple(medium), tuple(high))
+            high_list.append(candidate)
+    return SplitCostSets(tuple(zero_list), tuple(medium_list), tuple(high_list))
 
 
 class ADCAwareTrainer:
@@ -118,35 +175,52 @@ class ADCAwareTrainer:
         self.prefer_low_power_levels = prefer_low_power_levels
 
     # ------------------------------------------------------------------ #
-    # Algorithm 1 split selection
+    # Algorithm 1 split enumeration / selection (columnar)
     # ------------------------------------------------------------------ #
+    def _node_candidates(
+        self,
+        X_levels: np.ndarray,
+        y: np.ndarray,
+        indices: np.ndarray,
+        n_classes: int,
+        n_levels: int,
+    ) -> CandidateTable:
+        """Candidate splits of one node as a columnar table."""
+        return enumerate_split_candidates(
+            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+        )
+
     def _select_split(
         self,
-        candidates: list[SplitCandidate],
+        candidates: CandidateTable,
         selected_pairs: set[tuple[int, int]],
         selected_features: set[int],
         rng: random.Random,
     ) -> SplitCandidate:
-        best_gini = min(candidate.gini for candidate in candidates)
-        tolerance_set = [
-            c for c in candidates if c.gini <= best_gini + self.gini_threshold + 1e-15
-        ]
+        """Algorithm 1 selection as array reductions over the candidate table.
+
+        Every filter (tolerance set, cost partition, low-power level, Gini
+        ties) preserves the table's (feature, threshold) order and the final
+        tie-break draws once over the finalist set, so the RNG stream -- and
+        therefore the grown tree -- is bit-identical to the historical
+        object-list implementation.
+        """
+        best_gini = candidates.gini.min()
+        tolerance_set = candidates.select(
+            candidates.gini <= best_gini + self.gini_threshold + 1e-15
+        )
         sets = partition_by_cost(tolerance_set, selected_pairs, selected_features)
 
         if sets.zero_cost:
-            pool = list(sets.zero_cost)
-            target_gini = min(c.gini for c in pool)
-            finalists = [c for c in pool if c.gini <= target_gini + GINI_TIE_TOLERANCE]
-            return rng.choice(finalists)
-
-        pool = list(sets.medium_cost) if sets.medium_cost else list(sets.high_cost)
-        if self.prefer_low_power_levels:
-            # Secondary objective: smallest threshold => lowest-power comparator.
-            min_level = min(c.threshold_level for c in pool)
-            pool = [c for c in pool if c.threshold_level == min_level]
-        target_gini = min(c.gini for c in pool)
-        finalists = [c for c in pool if c.gini <= target_gini + GINI_TIE_TOLERANCE]
-        return rng.choice(finalists)
+            pool = sets.zero_cost
+        else:
+            pool = sets.medium_cost if sets.medium_cost else sets.high_cost
+            if self.prefer_low_power_levels:
+                # Secondary objective: smallest threshold => lowest-power comparator.
+                pool = pool.select(pool.threshold_level == pool.threshold_level.min())
+        target_gini = pool.gini.min()
+        finalists = np.nonzero(pool.gini <= target_gini + GINI_TIE_TOLERANCE)[0]
+        return pool.candidate(rng.choice(finalists.tolist()))
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -209,9 +283,7 @@ class ADCAwareTrainer:
                 or indices.size < self.min_samples_split
             ):
                 continue
-            candidates = enumerate_split_candidates(
-                X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
-            )
+            candidates = self._node_candidates(X_levels, y, indices, n_classes, n_levels)
             if not candidates:
                 continue
             split = self._select_split(candidates, selected_pairs, selected_features, rng)

@@ -208,6 +208,46 @@ class CoDesignFramework:
             executor=self.executor,
         )
 
+    def run_robustness(
+        self,
+        dataset: Dataset,
+        exploration: list[DesignPoint],
+        sigma_v: float,
+        n_trials: int = 100,
+        store=None,
+    ) -> list[DesignPoint]:
+        """Variation-aware pass: Monte-Carlo every explored design point.
+
+        Re-derives the paper's 70/30 split to recover the *analog* test
+        samples (offsets act in the continuous input domain, before
+        quantization) and fans one comparator-offset analysis per point
+        through the framework executor.  Per-point summaries are cached in
+        ``store`` under the shared variation keys.  The returned points carry
+        ``mean_accuracy_drop`` / ``worst_case_drop`` columns, ready for an
+        offset-aware :func:`~repro.core.exploration.select_best_design` with
+        a ``max_accuracy_drop`` constraint.
+        """
+        _, X_test, _, y_test = train_test_split(
+            dataset.X, dataset.y, test_size=self.test_size, seed=self.seed
+        )
+        explorer = DesignSpaceExplorer(
+            technology=self.technology,
+            resolution_bits=self.resolution_bits,
+            depths=self.depths,
+            taus=self.taus,
+            seed=self.seed,
+        )
+        return explorer.evaluate_robustness(
+            exploration,
+            X_test,
+            y_test,
+            sigma_v,
+            n_trials=n_trials,
+            executor=self.executor,
+            store=store,
+            test_size=self.test_size,
+        )
+
     def run_approximate_baseline(
         self,
         dataset: Dataset,

@@ -6,11 +6,20 @@ ADC-aware tree per combination, and then picks, per accuracy-loss constraint
 (0 %, 1 %, 5 %), the most hardware-efficient design that still meets the
 constraint.  :class:`DesignSpaceExplorer` reproduces that sweep and
 :func:`select_best_design` the constrained selection.
+
+On top of the nominal sweep, :meth:`DesignSpaceExplorer.evaluate_robustness`
+attaches a comparator-offset Monte-Carlo summary to every design point (the
+variation-aware extension): per-point analyses fan out through the
+:class:`~repro.core.executor.Executor` and are cached in the
+:class:`~repro.core.store.ResultStore` under the same per-seed variation
+keys ``repro.cli variation`` uses, and :func:`select_best_design` can then
+constrain the selection by ``max_accuracy_drop`` -- the offset-aware
+co-design of Table II.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -18,7 +27,13 @@ from repro.core.adc_aware_training import ADCAwareTrainer
 from repro.core.bespoke_adc import build_bespoke_frontend
 from repro.core.executor import Executor, SerialExecutor
 from repro.core.metrics import HardwareReport
+from repro.core.store import ResultStore
 from repro.core.unary_tree import UnaryDecisionTree
+from repro.core.variation import (
+    VariationAnalysis,
+    simulate_offset_variation,
+    variation_result_key,
+)
 from repro.mltrees.evaluation import accuracy_score
 from repro.mltrees.tree import DecisionTree
 from repro.pdk.egfet import EGFETTechnology, default_technology
@@ -32,7 +47,14 @@ DEFAULT_DEPTHS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated point of the depth x tau design space."""
+    """One evaluated point of the depth x tau design space.
+
+    ``robustness`` is ``None`` after the nominal sweep; the variation-aware
+    pass (:meth:`DesignSpaceExplorer.evaluate_robustness`) fills it with the
+    point's comparator-offset Monte-Carlo summary, which surfaces as the
+    ``mean_accuracy_drop`` / ``worst_case_drop`` columns of the analysis
+    tables.
+    """
 
     dataset: str
     depth: int
@@ -40,6 +62,7 @@ class DesignPoint:
     accuracy: float
     hardware: HardwareReport
     tree: DecisionTree = field(repr=False)
+    robustness: VariationAnalysis | None = field(default=None, repr=False)
 
     @property
     def total_area_mm2(self) -> float:
@@ -50,6 +73,20 @@ class DesignPoint:
     def total_power_uw(self) -> float:
         """Total power of the design point in uW."""
         return self.hardware.total_power_uw
+
+    @property
+    def mean_accuracy_drop(self) -> float | None:
+        """Average accuracy lost to comparator offsets (None before the pass)."""
+        return None if self.robustness is None else self.robustness.mean_accuracy_drop
+
+    @property
+    def worst_case_drop(self) -> float | None:
+        """Worst-case accuracy lost to comparator offsets (None before the pass)."""
+        return None if self.robustness is None else self.robustness.worst_case_drop
+
+    def with_robustness(self, analysis: VariationAnalysis) -> "DesignPoint":
+        """Copy of this point carrying a Monte-Carlo robustness summary."""
+        return replace(self, robustness=analysis)
 
 
 def proposed_hardware_report(
@@ -171,6 +208,95 @@ class DesignSpaceExplorer:
         ]
         return executor.map(_evaluate_point_job, tasks)
 
+    def evaluate_robustness(
+        self,
+        points: list[DesignPoint],
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        sigma_v: float,
+        n_trials: int = 100,
+        executor: Executor | None = None,
+        store: ResultStore | None = None,
+        test_size: float = 0.3,
+    ) -> list[DesignPoint]:
+        """Attach a comparator-offset Monte-Carlo summary to every point.
+
+        Parameters
+        ----------
+        points:
+            Nominal design points (any iterable order; preserved).
+        X_test, y_test:
+            *Analog* (normalized, unquantized) evaluation samples -- offsets
+            shift the comparator thresholds in the continuous input domain.
+        sigma_v:
+            Comparator offset sigma in volts.
+        n_trials:
+            Monte-Carlo trials per design point.
+        executor:
+            Backend the per-point analyses fan out through (default serial).
+            Every analysis is seeded with the explorer seed, so serial and
+            parallel runs are bit-identical.
+        store:
+            Optional :class:`ResultStore`; per-point
+            :class:`~repro.core.variation.VariationAnalysis` summaries are
+            cached under the same per-seed variation keys that ``repro.cli
+            variation`` uses, so either entry point reuses the other's work.
+        test_size:
+            Split fraction ``X_test`` was carved out with (0.3 under the
+            paper's protocol).  Only participates in the cache keys, so
+            analyses on non-default splits address distinct entries.
+
+        Returns
+        -------
+        list[DesignPoint]
+            The input points, in order, with ``robustness`` filled in.
+        """
+        executor = executor if executor is not None else SerialExecutor()
+        analyses: dict[int, VariationAnalysis] = {}
+        keys: dict[int, str] = {}
+        pending: list[int] = []
+        for index, point in enumerate(points):
+            if store is not None:
+                key = variation_result_key(
+                    point.dataset,
+                    self.seed,
+                    sigma_v,
+                    n_trials,
+                    point.depth,
+                    point.tau,
+                    self.resolution_bits,
+                    technology=self.technology,
+                    test_size=test_size,
+                )
+                keys[index] = key
+                cached = store.get(key)
+                if cached is not None:
+                    analyses[index] = cached
+                    continue
+            pending.append(index)
+
+        if pending:
+            tasks = [
+                (
+                    points[index].tree,
+                    X_test,
+                    y_test,
+                    sigma_v,
+                    n_trials,
+                    self.technology,
+                    self.seed,
+                )
+                for index in pending
+            ]
+            for index, analysis in zip(
+                pending, executor.map(_robustness_point_job, tasks)
+            ):
+                analyses[index] = analysis
+                if store is not None:
+                    store.put(keys[index], analysis)
+
+        return [point.with_robustness(analyses[i]) for i, point in enumerate(points)]
+
 
 def _evaluate_point_job(
     explorer: DesignSpaceExplorer,
@@ -196,11 +322,33 @@ def _evaluate_point_job(
     )
 
 
+def _robustness_point_job(
+    tree: DecisionTree,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    sigma_v: float,
+    n_trials: int,
+    technology: EGFETTechnology,
+    seed: int,
+) -> VariationAnalysis:
+    """Picklable top-level job: Monte-Carlo one design point's robustness.
+
+    Trial batches are *not* fanned out further (``jobs`` stays serial inside
+    the job); the parallelism lives at the per-point level, where the grid is
+    wide enough to keep every worker busy.
+    """
+    return simulate_offset_variation(
+        tree, X_test, y_test, sigma_v, n_trials=n_trials,
+        technology=technology, seed=seed,
+    )
+
+
 def select_best_design(
     points: list[DesignPoint],
     reference_accuracy: float,
     max_accuracy_loss: float,
     objective: str = "power",
+    max_accuracy_drop: float | None = None,
 ) -> DesignPoint | None:
     """Pick the most hardware-efficient design meeting the accuracy constraint.
 
@@ -216,17 +364,31 @@ def select_best_design(
     objective:
         ``"power"`` (default, the binding constraint for self-powered
         operation) or ``"area"``.
+    max_accuracy_drop:
+        Optional robustness constraint: maximum allowed *mean* accuracy drop
+        under comparator-offset variation.  Only points that carry a
+        robustness summary (see
+        :meth:`DesignSpaceExplorer.evaluate_robustness`) can satisfy it;
+        points without one are treated as infeasible, so a constrained
+        selection never silently picks an unanalyzed design.
 
     Returns
     -------
     DesignPoint | None
         The selected point, or ``None`` when no point satisfies the
-        constraint.
+        constraints.
     """
     if objective not in {"power", "area"}:
         raise ValueError("objective must be 'power' or 'area'")
     floor = reference_accuracy - max_accuracy_loss
     feasible = [point for point in points if point.accuracy >= floor - 1e-12]
+    if max_accuracy_drop is not None:
+        feasible = [
+            point
+            for point in feasible
+            if point.mean_accuracy_drop is not None
+            and point.mean_accuracy_drop <= max_accuracy_drop + 1e-12
+        ]
     if not feasible:
         return None
     if objective == "power":

@@ -34,6 +34,10 @@ from pathlib import Path
 #: the package version, which already participates in the key).
 STORE_SCHEMA_VERSION = 1
 
+#: A ``*.tmp`` file younger than this is presumed to be a concurrent writer's
+#: in-flight entry (mkstemp -> os.replace window) and is never swept.
+_TMP_GRACE_S = 3600.0
+
 
 def code_version() -> str:
     """Version tag baked into every key: package version + store schema."""
@@ -196,6 +200,12 @@ class ResultStore:
             self.stats.misses += 1
             return default
         self.stats.hits += 1
+        try:
+            # Mark recency so LRU eviction (prune_to_size) and age pruning
+            # keep entries that are still being *read*, not just written.
+            os.utime(path)
+        except OSError:  # read-only store: recency tracking degrades silently
+            pass
         return value
 
     def put(self, key: str, value) -> Path:
@@ -299,6 +309,51 @@ class ResultStore:
                             removed += int(counted)
                     except FileNotFoundError:
                         continue
+        return removed
+
+    def prune_to_size(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+        Recency is the entry's modification time, which :meth:`get` refreshes
+        on every hit -- so eviction order is by last *access*, keeping a
+        long-lived CI cache's working set warm while bounding its footprint.
+        Stale orphaned ``*.tmp`` files are swept first (not counted); fresh
+        ones are left alone, because they may be the in-flight writes of a
+        concurrent :meth:`put` on a shared store.  Returns the number of
+        removed entries.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if not self.cache_dir.is_dir():
+            return 0
+        tmp_cutoff = time.time() - _TMP_GRACE_S
+        for path in self.cache_dir.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < tmp_cutoff:
+                    path.unlink()
+            except FileNotFoundError:
+                pass
+        entries: list[tuple[float, int, Path]] = []
+        total_bytes = 0
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # concurrently evicted
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total_bytes += stat.st_size
+        entries.sort(key=lambda entry: (entry[0], str(entry[2])))
+        removed = 0
+        for _, size, path in entries:
+            if total_bytes <= max_bytes:
+                break
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+            # A concurrently removed entry no longer occupies space either way.
+            total_bytes -= size
         return removed
 
     # ------------------------------------------------------------------ #

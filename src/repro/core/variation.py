@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.executor import get_executor
+from repro.core.store import make_key
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.mltrees.evaluation import accuracy_score
 from repro.mltrees.tree import DecisionTree
@@ -68,6 +69,51 @@ class ComparatorOffsetModel:
         bit-identical to the pre-vectorization implementation.
         """
         return np.stack([self.sample(rng, size) for _ in range(n_trials)])
+
+
+def variation_result_key(
+    dataset: str,
+    seed: int,
+    sigma_v: float,
+    n_trials: int,
+    depth: int,
+    tau: float,
+    resolution_bits: int = 4,
+    technology: EGFETTechnology | None = None,
+    test_size: float = 0.3,
+) -> str:
+    """Content-address one Monte-Carlo offset-variation run.
+
+    The classifier under analysis is fully determined by ``(dataset, seed,
+    depth, tau, resolution_bits, test_size)`` -- the ADC-aware tree trained
+    on the ``test_size`` split (0.3, the paper's 70/30 protocol, by default)
+    -- so the same key serves both the per-seed summaries of ``repro.cli
+    variation`` and the per-point robustness columns of the design-space
+    exploration: either entry point warms the cache for the other.
+    ``technology`` (default: the calibrated EGFET corner) must match the
+    technology the simulation runs at -- its supply voltage scales the
+    offsets -- so custom-corner studies address distinct entries, as do runs
+    on non-default splits.  Dataset abbreviations alias their canonical
+    names; unregistered dataset names (ad-hoc studies) are keyed verbatim.
+    """
+    from repro.datasets.registry import canonical_name
+
+    try:
+        dataset = canonical_name(dataset)
+    except KeyError:
+        pass
+    return make_key(
+        kind="offset_variation",
+        dataset=dataset,
+        seed=seed,
+        sigma_v=float(sigma_v),
+        n_trials=int(n_trials),
+        depth=int(depth),
+        tau=float(tau),
+        resolution_bits=int(resolution_bits),
+        technology=technology if technology is not None else default_technology(),
+        test_size=float(test_size),
+    )
 
 
 @dataclass(frozen=True)

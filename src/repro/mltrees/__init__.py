@@ -19,7 +19,12 @@ co-design core can reuse the same split-scoring machinery:
 
 from repro.mltrees.tree import DecisionTree, TreeNode
 from repro.mltrees.gini import gini_impurity, weighted_gini
-from repro.mltrees.split_search import SplitCandidate, enumerate_split_candidates
+from repro.mltrees.split_search import (
+    CandidateTable,
+    SplitCandidate,
+    best_gini,
+    enumerate_split_candidates,
+)
 from repro.mltrees.cart import CARTTrainer, fit_baseline_tree
 from repro.mltrees.quantize import quantize_dataset, level_to_value
 from repro.mltrees.evaluation import accuracy_score, confusion_matrix, train_test_split
@@ -36,7 +41,9 @@ __all__ = [
     "TreeNode",
     "gini_impurity",
     "weighted_gini",
+    "CandidateTable",
     "SplitCandidate",
+    "best_gini",
     "enumerate_split_candidates",
     "CARTTrainer",
     "fit_baseline_tree",

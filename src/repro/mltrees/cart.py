@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.mltrees.evaluation import accuracy_score
 from repro.mltrees.split_search import (
+    CandidateTable,
     SplitCandidate,
     class_histogram,
     enumerate_split_candidates,
@@ -119,9 +120,7 @@ class CARTTrainer:
             if depth >= self.max_depth or is_pure or indices.size < self.min_samples_split:
                 return node
 
-            candidates = enumerate_split_candidates(
-                X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
-            )
+            candidates = self._node_candidates(X_levels, y, indices, n_classes, n_levels)
             if not candidates:
                 return node
 
@@ -147,15 +146,33 @@ class CARTTrainer:
         )
 
     # ------------------------------------------------------------------ #
-    # split selection policy (overridden by hardware-aware trainers)
+    # split enumeration / selection policy (overridden by hardware-aware
+    # trainers and by the legacy reference trainers)
     # ------------------------------------------------------------------ #
+    def _node_candidates(
+        self,
+        X_levels: np.ndarray,
+        y: np.ndarray,
+        indices: np.ndarray,
+        n_classes: int,
+        n_levels: int,
+    ) -> CandidateTable:
+        """Candidate splits of one node as a columnar table."""
+        return enumerate_split_candidates(
+            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+        )
+
     def _select_split(
-        self, candidates: list[SplitCandidate], rng: random.Random
+        self, candidates: CandidateTable, rng: random.Random
     ) -> SplitCandidate:
-        """Pick the best-Gini candidate, breaking ties uniformly at random."""
-        best = min(candidate.gini for candidate in candidates)
-        tied = [c for c in candidates if c.gini <= best + GINI_TIE_TOLERANCE]
-        return rng.choice(tied)
+        """Pick the best-Gini candidate, breaking ties uniformly at random.
+
+        Array reductions over the columnar table; ``rng`` consumption matches
+        the historical list-based scan exactly (one draw over the tied set),
+        so seeded trainings are bit-identical to the pre-columnar trainer.
+        """
+        tied = np.nonzero(candidates.gini <= candidates.gini.min() + GINI_TIE_TOLERANCE)[0]
+        return candidates.candidate(rng.choice(tied.tolist()))
 
 
 @dataclass(frozen=True)

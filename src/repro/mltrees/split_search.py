@@ -1,4 +1,4 @@
-"""Vectorized enumeration of candidate splits on quantized features.
+"""Columnar enumeration of candidate splits on quantized features.
 
 Both the conventional CART trainer and the ADC-aware trainer (Algorithm 1 of
 the paper) need, at every node, the Gini score of **every** candidate
@@ -7,12 +7,24 @@ tolerance set ``S = {(Ii, C) | Gini(Ii, C) <= G + tau}`` from them.
 
 Because the inputs are quantized to ``2**resolution_bits`` levels, each
 feature has at most ``2**resolution_bits - 1`` distinct thresholds, so the
-candidate enumeration is computed from per-level class histograms with a
-single cumulative sum per feature (no per-threshold re-partitioning).
+whole candidate set of a node is computed from one ``(feature, level,
+class)`` histogram -- a single ``bincount`` over all features at once -- and
+one cumulative sum.  The result is a :class:`CandidateTable` of parallel
+ndarrays (``feature``, ``threshold_level``, ``gini``, ``n_left``,
+``n_right``): no per-feature Python loop and no per-candidate object
+construction.  Trainers select splits with array reductions over the table;
+:class:`SplitCandidate` objects are only materialized on demand through the
+table's sequence-compatibility view (iteration, indexing, equality against
+candidate lists), which keeps object-based callers working unchanged.
+
+The pre-columnar object-building enumeration is retained verbatim in
+:mod:`repro.mltrees.legacy_split_search` as the oracle for the equivalence
+tests and the training-throughput benchmark.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +45,116 @@ class SplitCandidate:
     n_right: int
 
 
+@dataclass(frozen=True, eq=False)
+class CandidateTable:
+    """Columnar table of candidate splits: one row per (feature, threshold).
+
+    Rows are ordered by ``(feature, threshold_level)`` exactly like the
+    historical candidate lists.  The parallel arrays let trainers score and
+    filter every candidate with ndarray reductions; the sequence protocol
+    (``len``, iteration, indexing, ``==`` against lists of candidates) is a
+    thin compatibility view that materializes :class:`SplitCandidate`
+    objects on demand.
+    """
+
+    feature: np.ndarray          #: int64, feature index per candidate
+    threshold_level: np.ndarray  #: int64, threshold level per candidate
+    gini: np.ndarray             #: float64, weighted Gini of the split
+    n_left: np.ndarray           #: int64, samples sent to the left child
+    n_right: np.ndarray          #: int64, samples sent to the right child
+
+    # ------------------------------------------------------------------ #
+    # columnar operations (the fast path used by the trainers)
+    # ------------------------------------------------------------------ #
+    @property
+    def best_gini(self) -> float:
+        """Minimum Gini score in the table (``inf`` when empty)."""
+        if self.gini.size == 0:
+            return float("inf")
+        return float(self.gini.min())
+
+    def select(self, which: np.ndarray) -> "CandidateTable":
+        """Sub-table of the rows picked by a boolean mask or index array."""
+        return CandidateTable(
+            feature=self.feature[which],
+            threshold_level=self.threshold_level[which],
+            gini=self.gini[which],
+            n_left=self.n_left[which],
+            n_right=self.n_right[which],
+        )
+
+    @classmethod
+    def empty(cls) -> "CandidateTable":
+        """A table with zero candidates."""
+        zero_i = np.empty(0, dtype=np.int64)
+        return cls(
+            feature=zero_i,
+            threshold_level=zero_i,
+            gini=np.empty(0, dtype=np.float64),
+            n_left=zero_i,
+            n_right=zero_i,
+        )
+
+    @classmethod
+    def from_candidates(cls, candidates: Sequence[SplitCandidate]) -> "CandidateTable":
+        """Build a table from an object-based candidate list."""
+        if not candidates:
+            return cls.empty()
+        return cls(
+            feature=np.array([c.feature for c in candidates], dtype=np.int64),
+            threshold_level=np.array(
+                [c.threshold_level for c in candidates], dtype=np.int64
+            ),
+            gini=np.array([c.gini for c in candidates], dtype=np.float64),
+            n_left=np.array([c.n_left for c in candidates], dtype=np.int64),
+            n_right=np.array([c.n_right for c in candidates], dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # sequence-compatibility view (materializes objects on demand)
+    # ------------------------------------------------------------------ #
+    def candidate(self, index: int) -> SplitCandidate:
+        """Materialize row ``index`` as a :class:`SplitCandidate`."""
+        return SplitCandidate(
+            feature=int(self.feature[index]),
+            threshold_level=int(self.threshold_level[index]),
+            gini=float(self.gini[index]),
+            n_left=int(self.n_left[index]),
+            n_right=int(self.n_right[index]),
+        )
+
+    def to_list(self) -> list[SplitCandidate]:
+        """The whole table as an object-based candidate list."""
+        return [self.candidate(i) for i in range(len(self))]
+
+    def __len__(self) -> int:
+        return int(self.feature.shape[0])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[SplitCandidate]:
+        return iter(self.to_list())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.to_list()[index]
+        return self.candidate(index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CandidateTable):
+            return (
+                np.array_equal(self.feature, other.feature)
+                and np.array_equal(self.threshold_level, other.threshold_level)
+                and np.array_equal(self.gini, other.gini)
+                and np.array_equal(self.n_left, other.n_left)
+                and np.array_equal(self.n_right, other.n_right)
+            )
+        if isinstance(other, Sequence):
+            return len(self) == len(other) and self.to_list() == list(other)
+        return NotImplemented
+
+
 def class_histogram(y: np.ndarray, n_classes: int) -> np.ndarray:
     """Per-class sample counts of a label vector."""
     return np.bincount(y, minlength=n_classes).astype(np.int64)
@@ -45,8 +167,13 @@ def enumerate_split_candidates(
     n_classes: int,
     n_levels: int,
     min_samples_leaf: int = 1,
-) -> list[SplitCandidate]:
+) -> CandidateTable:
     """Enumerate every valid split of the node containing ``indices``.
+
+    One vectorized pass over **all** features: a single ``bincount`` builds
+    the ``(feature, level, class)`` histogram of the node, one cumulative sum
+    along the level axis yields every left/right class-count pair, and the
+    weighted Gini of all candidates falls out as one broadcast expression.
 
     Parameters
     ----------
@@ -67,7 +194,7 @@ def enumerate_split_candidates(
 
     Returns
     -------
-    list[SplitCandidate]
+    CandidateTable
         All valid candidates, ordered by ``(feature, threshold_level)``.
         Candidates are reported only for thresholds that actually separate
         the node's samples ("C value in dataset" in Algorithm 1), i.e. both
@@ -75,55 +202,68 @@ def enumerate_split_candidates(
     """
     indices = np.asarray(indices)
     if indices.size == 0:
-        return []
+        return CandidateTable.empty()
     y_node = y[indices]
     n_node = indices.size
-    candidates: list[SplitCandidate] = []
-    thresholds = np.arange(1, n_levels)  # k = 1 .. n_levels - 1
+    n_features = X_levels.shape[1]
+    n_thresholds = n_levels - 1  # k = 1 .. n_levels - 1
 
-    for feature in range(X_levels.shape[1]):
-        values = X_levels[indices, feature]
-        # hist[level, class] = number of node samples at that level and class
-        flat = np.bincount(
-            values * n_classes + y_node, minlength=n_levels * n_classes
+    # hist[feature, level, class] via one flat bincount over all features
+    values = X_levels[indices]  # (n_node, n_features)
+    if int(values.max()) >= n_levels:
+        # An out-of-range level would land in the *next* feature's histogram
+        # block and silently corrupt its Gini scores; fail loudly instead
+        # (negative levels already make bincount raise).
+        raise ValueError(
+            f"quantized levels must lie in [0, {n_levels - 1}], "
+            f"got {int(values.max())}"
         )
-        hist = flat.reshape(n_levels, n_classes)
-        total_counts = hist.sum(axis=0)
-        # left child of threshold k = samples with level < k
-        cumulative = np.cumsum(hist, axis=0)
-        left_counts = cumulative[thresholds - 1]          # shape (n_thresholds, C)
-        right_counts = total_counts[None, :] - left_counts
-        n_left = left_counts.sum(axis=1)
-        n_right = right_counts.sum(axis=1)
+    feature_base = np.arange(n_features, dtype=np.int64) * (n_levels * n_classes)
+    codes = feature_base[np.newaxis, :] + values * n_classes + y_node[:, np.newaxis]
+    hist = np.bincount(
+        codes.ravel(), minlength=n_features * n_levels * n_classes
+    ).reshape(n_features, n_levels, n_classes)
 
-        valid = (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
-        if not np.any(valid):
-            continue
+    # left child of threshold k = samples with level < k
+    cumulative = np.cumsum(hist, axis=1)                    # (F, L, C)
+    total_counts = cumulative[:, -1, :]                     # (F, C)
+    left_counts = cumulative[:, :-1, :]                     # (F, T, C)
+    right_counts = total_counts[:, np.newaxis, :] - left_counts
+    n_left = left_counts.sum(axis=2)                        # (F, T)
+    n_right = right_counts.sum(axis=2)
 
-        with np.errstate(divide="ignore", invalid="ignore"):
-            gini_left = 1.0 - np.sum(
-                (left_counts / np.maximum(n_left, 1)[:, None]) ** 2, axis=1
-            )
-            gini_right = 1.0 - np.sum(
-                (right_counts / np.maximum(n_right, 1)[:, None]) ** 2, axis=1
-            )
-        weighted = (n_left * gini_left + n_right * gini_right) / n_node
+    valid = (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+    rows = np.nonzero(valid.ravel())[0]
+    if rows.size == 0:
+        return CandidateTable.empty()
 
-        for position in np.nonzero(valid)[0]:
-            candidates.append(
-                SplitCandidate(
-                    feature=feature,
-                    threshold_level=int(thresholds[position]),
-                    gini=float(weighted[position]),
-                    n_left=int(n_left[position]),
-                    n_right=int(n_right[position]),
-                )
-            )
-    return candidates
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_left = 1.0 - np.sum(
+            (left_counts / np.maximum(n_left, 1)[:, :, np.newaxis]) ** 2, axis=2
+        )
+        gini_right = 1.0 - np.sum(
+            (right_counts / np.maximum(n_right, 1)[:, :, np.newaxis]) ** 2, axis=2
+        )
+    weighted = (n_left * gini_left + n_right * gini_right) / n_node
+
+    return CandidateTable(
+        feature=rows // n_thresholds,
+        threshold_level=rows % n_thresholds + 1,
+        gini=weighted.ravel()[rows],
+        n_left=n_left.ravel()[rows],
+        n_right=n_right.ravel()[rows],
+    )
 
 
-def best_gini(candidates: list[SplitCandidate]) -> float:
-    """Minimum Gini score among ``candidates`` (``inf`` when empty)."""
+def best_gini(candidates: CandidateTable | Sequence[SplitCandidate]) -> float:
+    """Minimum Gini score among ``candidates`` (``inf`` when empty).
+
+    Routed through the columnar table (one C-speed reduction) when given a
+    :class:`CandidateTable`; object-based candidate lists keep working for
+    compatibility.
+    """
+    if isinstance(candidates, CandidateTable):
+        return candidates.best_gini
     if not candidates:
         return float("inf")
     return min(candidate.gini for candidate in candidates)

@@ -352,3 +352,194 @@ class TestReadOnlyStoreHits:
             assert second.accuracies == first.accuracies
         finally:
             os.chmod(cache_dir, 0o755)
+
+
+class TestRunRobustExploration:
+    def test_points_carry_cached_robustness_columns(self, tmp_path):
+        from repro.analysis.experiments import run_robust_exploration
+
+        store = ResultStore(cache_dir=tmp_path / "robust-cache")
+        kwargs = dict(sigma_v=0.03, n_trials=6, seed=0, store=store, **SMALL_GRID)
+        exploration = run_robust_exploration("vertebral_2c", **kwargs)
+        assert exploration.dataset == "vertebral_2c"
+        assert len(exploration.points) == 4
+        for point in exploration.points:
+            assert point.robustness is not None
+            assert len(point.robustness.accuracies) == 6
+        # 1 suite entry + one variation entry per design point
+        assert store.stats.stores == 1 + 4
+
+        again = run_robust_exploration("vertebral_2c", **kwargs)
+        assert store.stats.stores == 1 + 4  # everything reused
+        assert again.points == exploration.points
+
+    def test_serial_equals_parallel(self):
+        from repro.analysis.experiments import run_robust_exploration
+
+        kwargs = dict(
+            sigma_v=0.03, n_trials=6, seed=0, use_cache=False, **SMALL_GRID
+        )
+        serial = run_robust_exploration("vertebral_2c", jobs=None, **kwargs)
+        parallel = run_robust_exploration("vertebral_2c", jobs=2, **kwargs)
+        assert serial.points == parallel.points
+
+    def test_shares_cache_entries_with_variation_cli(self, tmp_path):
+        from repro.analysis.experiments import (
+            run_robust_exploration,
+            run_variation_analysis,
+        )
+
+        store = ResultStore(cache_dir=tmp_path / "shared-cache")
+        exploration = run_robust_exploration(
+            "vertebral_2c", sigma_v=0.02, n_trials=5, seed=0,
+            depths=(3,), taus=(0.01,), store=store,
+        )
+        stores_before = store.stats.stores
+        # Same (dataset, seed, sigma, trials, depth, tau) => same entry.
+        analysis = run_variation_analysis(
+            "vertebral_2c", sigma_v=0.02, n_trials=5, seed=0, depth=3, tau=0.01,
+            store=store,
+        )
+        assert store.stats.stores == stores_before  # hit, not a recomputation
+        assert analysis == exploration.points[0].robustness
+
+    def test_selection_under_drop_constraint(self):
+        from repro.analysis.experiments import run_robust_exploration
+
+        exploration = run_robust_exploration(
+            "vertebral_2c", sigma_v=0.02, n_trials=5, seed=0, **SMALL_GRID
+        )
+        unconstrained = exploration.select(max_accuracy_loss=0.05)
+        assert unconstrained is not None
+        constrained = exploration.select(max_accuracy_loss=0.05, max_accuracy_drop=1.0)
+        assert constrained is not None  # every drop is <= 100%
+        impossible = exploration.select(max_accuracy_loss=0.05, max_accuracy_drop=-1.0)
+        assert impossible is None
+
+
+class TestExploreCommand:
+    def test_explore_renders_grid_and_selection(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "explore", "--dataset", "vertebral_2c", "--sigma", "0.04",
+                "--max-accuracy-drop", "0.05", "--trials", "5",
+                "--cache-dir", str(tmp_path / "explore-cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mean drop (%)" in captured.out
+        assert "selected:" in captured.out
+        # full paper grid (49 points) cached: suite entry + per-point analyses
+        assert len(ResultStore(cache_dir=tmp_path / "explore-cache")) == 1 + 49
+
+    def test_explore_writes_json_export(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "exploration.json"
+        exit_code = main(
+            [
+                "explore", "--dataset", "vertebral_2c", "--sigma", "0.02",
+                "--trials", "4", "--cache-dir", str(tmp_path / "json-cache"),
+                "--json", str(out),
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["dataset"] == "vertebral_2c"
+        assert len(payload["points"]) == 49
+        assert all(p["mean_accuracy_drop"] is not None for p in payload["points"])
+
+    def test_explore_json_records_objective(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "area.json"
+        assert main(
+            [
+                "explore", "--dataset", "vertebral_2c", "--sigma", "0.02",
+                "--trials", "4", "--objective", "area",
+                "--cache-dir", str(tmp_path / "area-cache"), "--json", str(out),
+            ]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["constraints"]["objective"] == "area"
+        selected = payload["selected"]
+        # the exported point is the area-optimal feasible design
+        assert selected["total_area_mm2"] == min(
+            p["total_area_mm2"] for p in payload["points"]
+            if p["accuracy"] >= payload["baseline_accuracy"] - 0.01 - 1e-12
+        )
+
+    def test_table2_offset_aware_variant(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "table2", "--datasets", "vertebral_2c", "--sigma", "0.02",
+                "--trials", "4", "--max-accuracy-drop", "0.05",
+                "--cache-dir", str(tmp_path / "t2-cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Offset-aware co-design selection" in captured.out
+        assert "mean drop (%)" in captured.out
+
+
+class TestCachePruneBySize:
+    def test_prune_max_bytes_evicts_lru(self, capsys, tmp_path):
+        cache_dir = tmp_path / "lru-cli"
+        store = ResultStore(cache_dir=cache_dir)
+        import os as _os
+        import time as _time
+
+        now = _time.time()
+        for index in range(3):
+            key = store.make_key(n=index)
+            store.put(key, b"x" * 2000)
+            _os.utime(store.path_for(key), (now - 100 * (3 - index),) * 2)
+
+        budget = store.disk_stats().total_bytes - 1
+        assert main(
+            ["cache", "prune", "--max-bytes", str(budget), "--cache-dir", str(cache_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 least-recently-used entries" in out
+        assert len(store) == 2
+        assert store.make_key(n=0) not in store  # oldest went first
+
+    def test_prune_accepts_age_and_size_together(self, capsys, tmp_path):
+        cache_dir = tmp_path / "both-cli"
+        store = ResultStore(cache_dir=cache_dir)
+        store.put(store.make_key(n=1), "payload")
+        assert main(
+            [
+                "cache", "prune", "--older-than-days", "30",
+                "--max-bytes", "0", "--cache-dir", str(cache_dir),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 entries" in out
+        assert "evicted 1 least-recently-used entries" in out
+        assert len(store) == 0
+
+    def test_prune_requires_a_criterion(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--older-than-days and/or --max-bytes" in capsys.readouterr().err
+
+    def test_negative_max_bytes_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune", "--max-bytes", "-1"])
+
+
+class TestResolveSuiteDatasets:
+    def test_defaults_and_passthrough(self):
+        from repro.analysis.experiments import (
+            FAST_DATASETS,
+            resolve_suite_datasets,
+        )
+        from repro.datasets.registry import dataset_names
+
+        assert resolve_suite_datasets(None, fast=False) == tuple(dataset_names())
+        assert resolve_suite_datasets(None, fast=True) == FAST_DATASETS
+        assert resolve_suite_datasets(("SE", "V2"), fast=True) == ("SE", "V2")

@@ -140,3 +140,69 @@ class TestTables:
     def test_table2_summary_empty(self):
         summary = table2_summary([])
         assert summary["average_area_mm2"] == 0.0
+
+
+class TestRobustTables:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        from repro.analysis.experiments import RobustExploration, run_robust_exploration
+
+        result = run_robust_exploration(
+            "vertebral_2c", sigma_v=0.02, n_trials=5, seed=0,
+            depths=(2, 3), taus=(0.0, 0.01), use_cache=False,
+        )
+        assert isinstance(result, RobustExploration)
+        return result
+
+    def test_exploration_rows_carry_drop_columns(self, exploration):
+        from repro.analysis.tables import exploration_rows
+
+        rows = exploration_rows(exploration.points)
+        assert len(rows) == 4
+        for row, point in zip(rows, exploration.points):
+            assert row["depth"] == point.depth
+            assert row["mean_accuracy_drop_pct"] == pytest.approx(
+                point.mean_accuracy_drop * 100.0
+            )
+            assert row["worst_case_drop_pct"] == pytest.approx(
+                point.worst_case_drop * 100.0
+            )
+
+    def test_exploration_rows_none_before_the_pass(self, exploration):
+        import dataclasses
+
+        from repro.analysis.tables import exploration_rows
+
+        nominal = [
+            dataclasses.replace(point, robustness=None)
+            for point in exploration.points
+        ]
+        rows = exploration_rows(nominal)
+        assert all(row["mean_accuracy_drop_pct"] is None for row in rows)
+        assert all(row["worst_case_drop_pct"] is None for row in rows)
+
+    def test_table2_robust_rows_select_under_joint_constraint(self, exploration):
+        from repro.analysis.tables import table2_robust_rows, table2_robust_summary
+
+        rows = table2_robust_rows(
+            [exploration], accuracy_loss=0.05, max_accuracy_drop=1.0
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["feasible"] is True
+        assert row["dataset"] == "vertebral_2c"
+        assert row["sigma_mv"] == pytest.approx(20.0)
+        assert row["mean_accuracy_drop_pct"] is not None
+        summary = table2_robust_summary(rows)
+        assert summary["n_feasible"] == 1
+        assert summary["average_power_mw"] == pytest.approx(row["power_mw"])
+
+    def test_table2_robust_rows_report_infeasible_benchmarks(self, exploration):
+        from repro.analysis.tables import table2_robust_rows, table2_robust_summary
+
+        rows = table2_robust_rows(
+            [exploration], accuracy_loss=0.05, max_accuracy_drop=-1.0
+        )
+        assert rows[0]["feasible"] is False
+        assert rows[0]["power_mw"] is None
+        assert table2_robust_summary(rows)["n_feasible"] == 0

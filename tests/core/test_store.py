@@ -210,3 +210,74 @@ class TestStoreLifecycle:
         # nothing was lost while read-only; a later flush persists the hit
         assert reader.flush_stats()["hits"] == 1
         assert ResultStore(cache_dir=store.cache_dir).lifetime_stats()["hits"] == 1
+
+
+class TestPruneToSize:
+    def _put_sized(self, store, name: str, size: int, mtime: float) -> str:
+        """Store a payload of roughly ``size`` bytes with a forced mtime."""
+        key = make_key(name=name)
+        store.put(key, b"x" * size)
+        os.utime(store.path_for(key), (mtime, mtime))
+        return key
+
+    def test_evicts_least_recently_used_first(self, store):
+        now = time.time()
+        old = self._put_sized(store, "old", 4000, now - 300)
+        middle = self._put_sized(store, "middle", 4000, now - 200)
+        fresh = self._put_sized(store, "fresh", 4000, now - 100)
+        budget = store.disk_stats().total_bytes - 1  # force one eviction
+        assert store.prune_to_size(budget) == 1
+        assert old not in store
+        assert middle in store and fresh in store
+
+    def test_noop_when_under_budget(self, store):
+        self._put_sized(store, "a", 1000, time.time())
+        assert store.prune_to_size(10**9) == 0
+        assert len(store) == 1
+
+    def test_zero_budget_clears_everything(self, store):
+        for index in range(3):
+            self._put_sized(store, f"e{index}", 1000, time.time() - index)
+        assert store.prune_to_size(0) == 3
+        assert len(store) == 0
+
+    def test_hit_refreshes_recency(self, store):
+        now = time.time()
+        read = self._put_sized(store, "read", 4000, now - 300)
+        unread = self._put_sized(store, "unread", 4000, now - 200)
+        assert store.get(read) is not None  # touch: becomes most recent
+        budget = store.disk_stats().total_bytes - 1
+        assert store.prune_to_size(budget) == 1
+        assert read in store
+        assert unread not in store
+
+    def test_sweeps_stale_orphaned_tmp_files(self, store):
+        self._put_sized(store, "keep", 100, time.time())
+        stale = store.cache_dir / "orphan.tmp"
+        stale.write_bytes(b"partial")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        assert store.prune_to_size(10**9) == 0  # tmp sweep is not counted
+        assert not stale.exists()
+        assert len(store) == 1
+
+    def test_fresh_tmp_files_survive_concurrent_prune(self, store):
+        """A young *.tmp may be another process's in-flight put()."""
+        self._put_sized(store, "keep", 100, time.time())
+        in_flight = store.cache_dir / "writer.tmp"
+        in_flight.write_bytes(b"partial")
+        store.prune_to_size(0)
+        assert in_flight.exists()
+
+    def test_stats_file_is_never_evicted(self, store):
+        self._put_sized(store, "entry", 1000, time.time())
+        store.flush_stats()
+        assert store.prune_to_size(0) == 1
+        assert (store.cache_dir / "_stats.json").exists()
+
+    def test_negative_budget_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.prune_to_size(-1)
+
+    def test_missing_store_directory_is_empty(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path / "never-created")
+        assert store.prune_to_size(0) == 0

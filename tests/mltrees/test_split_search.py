@@ -1,10 +1,12 @@
-"""Unit tests for the vectorized candidate-split enumeration."""
+"""Unit tests for the columnar candidate-split enumeration."""
 
 import numpy as np
 import pytest
 
 from repro.mltrees.gini import weighted_gini
 from repro.mltrees.split_search import (
+    CandidateTable,
+    SplitCandidate,
     best_gini,
     class_histogram,
     enumerate_split_candidates,
@@ -91,3 +93,63 @@ class TestEnumerateSplitCandidates:
 
     def test_best_gini_of_empty_list_is_infinite(self):
         assert best_gini([]) == float("inf")
+
+    def test_out_of_range_levels_rejected(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        with pytest.raises(ValueError, match="quantized levels"):
+            # levels up to 14 do not fit 8 quantization levels
+            enumerate_split_candidates(X_levels, y, np.arange(len(y)), 2, 8)
+
+
+class TestCandidateTable:
+    @pytest.fixture(scope="class")
+    def table(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        return enumerate_split_candidates(X_levels, y, np.arange(len(y)), 2, 16)
+
+    def test_enumeration_returns_columnar_table(self, table):
+        assert isinstance(table, CandidateTable)
+        n = len(table)
+        assert n > 0
+        for column in (
+            table.feature, table.threshold_level, table.gini,
+            table.n_left, table.n_right,
+        ):
+            assert column.shape == (n,)
+        assert table.gini.dtype == np.float64
+
+    def test_rows_ordered_feature_major_threshold_ascending(self, table):
+        order = np.lexsort((table.threshold_level, table.feature))
+        np.testing.assert_array_equal(order, np.arange(len(table)))
+
+    def test_compat_view_materializes_candidates(self, table):
+        first = table[0]
+        assert isinstance(first, SplitCandidate)
+        assert isinstance(first.gini, float)
+        assert isinstance(first.threshold_level, int)
+        assert table.to_list()[0] == first
+        assert list(table)[:3] == table[:3]
+
+    def test_equality_against_candidate_lists(self, table):
+        assert table == table.to_list()
+        assert table == CandidateTable.from_candidates(table.to_list())
+        assert not (table == table.to_list()[:-1])
+
+    def test_select_by_mask(self, table):
+        feature_zero = table.select(table.feature == 0)
+        assert isinstance(feature_zero, CandidateTable)
+        assert len(feature_zero) == int(np.sum(table.feature == 0))
+        assert all(candidate.feature == 0 for candidate in feature_zero)
+
+    def test_best_gini_routed_through_table(self, table):
+        assert best_gini(table) == table.best_gini
+        assert table.best_gini == min(c.gini for c in table)
+        assert CandidateTable.empty().best_gini == float("inf")
+        assert best_gini(CandidateTable.empty()) == float("inf")
+
+    def test_empty_table_behaves_like_empty_sequence(self):
+        empty = CandidateTable.empty()
+        assert len(empty) == 0
+        assert not empty
+        assert empty == []
+        assert empty.to_list() == []
