@@ -53,6 +53,7 @@ from repro.core.exploration import (
 from repro.core.store import ResultStore, make_key
 from repro.core.variation import (
     VariationAnalysis,
+    canonical_training_knobs,
     simulate_offset_variation,
     variation_result_key,
 )
@@ -131,13 +132,22 @@ def suite_result_key(
     include_approximate_baseline: bool,
     depths: tuple[int, ...],
     taus: tuple[float, ...],
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> str:
     """Content-address one benchmark run of the suite configuration.
 
     The key normalizes the dataset name and the grid containers and folds in
     the (default) technology and the code version, so equivalent requests
-    alias and stale results from older code do not.
+    alias and stale results from older code do not.  The offset-aware
+    training knobs participate too (canonicalized: ``training_sigma == 0``
+    zeroes the weight, because the penalty is inert then), so nominal and
+    offset-aware sweeps address distinct entries while equivalent nominal
+    requests keep aliasing.
     """
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
     return make_key(
         dataset=canonical_name(dataset),
         seed=seed,
@@ -145,6 +155,8 @@ def suite_result_key(
         depths=tuple(depths),
         taus=tuple(taus),
         technology=default_technology(),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
     )
 
 
@@ -155,6 +167,8 @@ def _run_one_benchmark(
     depths: tuple[int, ...],
     taus: tuple[float, ...],
     jobs: int = 1,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> CoDesignResult:
     """Top-level (picklable) job: run the co-design flow on one benchmark."""
     with get_executor(jobs) as executor:
@@ -164,6 +178,8 @@ def _run_one_benchmark(
             seed=seed,
             include_approximate_baseline=include_approximate_baseline,
             executor=executor if executor.jobs > 1 else None,
+            training_sigma=training_sigma,
+            robustness_weight=robustness_weight,
         )
         dataset = load_dataset(name, seed=seed)
         return framework.run(dataset)
@@ -180,6 +196,8 @@ def run_benchmark_suite(
     cache_dir: str | Path | None = None,
     store: ResultStore | None = None,
     use_cache: bool = True,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> list[CoDesignResult]:
     """Run the co-design flow over the benchmark suite (cached per dataset).
 
@@ -213,6 +231,13 @@ def run_benchmark_suite(
     use_cache:
         When False, skip the on-disk store entirely (the in-process memo is
         bypassed too) and recompute everything.
+    training_sigma:
+        Comparator offset sigma in volts assumed by the exploration trainer
+        (0: nominal training).  See
+        :class:`~repro.core.exploration.DesignSpaceExplorer`.
+    robustness_weight:
+        Weight of the expected-flip penalty in the trainer's split scores
+        (ignored while ``training_sigma`` is 0).
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
@@ -223,7 +248,10 @@ def run_benchmark_suite(
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
 
     keys = {
-        name: suite_result_key(name, seed, include_approximate_baseline, depths, taus)
+        name: suite_result_key(
+            name, seed, include_approximate_baseline, depths, taus,
+            training_sigma=training_sigma, robustness_weight=robustness_weight,
+        )
         for name in dict.fromkeys(names)
     }
 
@@ -250,7 +278,11 @@ def run_benchmark_suite(
             if executor.jobs > 1 and len(pending) > 1:
                 # Fan out across datasets; each worker runs its sweep serially.
                 tasks = [
-                    (name, seed, include_approximate_baseline, tuple(depths), tuple(taus))
+                    (
+                        name, seed, include_approximate_baseline,
+                        tuple(depths), tuple(taus), 1,
+                        training_sigma, robustness_weight,
+                    )
                     for name in pending
                 ]
                 computed = executor.map(_run_one_benchmark, tasks)
@@ -264,6 +296,8 @@ def run_benchmark_suite(
                         tuple(depths),
                         tuple(taus),
                         jobs=executor.jobs,
+                        training_sigma=training_sigma,
+                        robustness_weight=robustness_weight,
                     )
                     for name in pending
                 ]
@@ -365,6 +399,10 @@ class RobustExploration:
     n_trials: int
     baseline_accuracy: float
     points: tuple[DesignPoint, ...]
+    #: Offset sigma (volts) the *trainer* assumed; 0 for nominal training.
+    training_sigma: float = 0.0
+    #: Weight of the expected-flip penalty the trainer applied.
+    robustness_weight: float = 1.0
 
     def select(
         self,
@@ -393,16 +431,23 @@ def run_robust_exploration(
     cache_dir: str | Path | None = None,
     store: ResultStore | None = None,
     use_cache: bool = True,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> RobustExploration:
     """Variation-aware design-space exploration of one benchmark.
 
-    Composes the two cache layers: the nominal depth x tau sweep (and the
-    baseline it is measured against) comes from the per-dataset suite cache
-    of :func:`run_benchmark_suite`, and the robustness pass then attaches one
+    Composes the two cache layers: the depth x tau sweep (and the baseline
+    it is measured against) comes from the per-dataset suite cache of
+    :func:`run_benchmark_suite`, and the robustness pass then attaches one
     cached :class:`~repro.core.variation.VariationAnalysis` per design point
     (the per-seed variation keys shared with ``repro.cli variation``).  Only
     points absent from the store are Monte-Carlo-simulated, fanned out
     across ``jobs`` worker processes with bit-identical results.
+
+    With ``training_sigma > 0`` the sweep's trees are trained offset-aware
+    (split scores penalized by the analytic expected digit-flip fraction at
+    that sigma); both cache layers key on the training parameters, so
+    nominal and offset-aware explorations never alias.
     """
     name = canonical_name(dataset)
     (result,) = run_benchmark_suite(
@@ -415,6 +460,8 @@ def run_robust_exploration(
         cache_dir=cache_dir,
         store=store,
         use_cache=use_cache,
+        training_sigma=training_sigma,
+        robustness_weight=robustness_weight,
     )
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
@@ -426,6 +473,8 @@ def run_robust_exploration(
             taus=tuple(taus),
             seed=seed,
             executor=executor if executor.jobs > 1 else None,
+            training_sigma=training_sigma,
+            robustness_weight=robustness_weight,
         )
         points = framework.run_robustness(
             data,
@@ -442,4 +491,6 @@ def run_robust_exploration(
         n_trials=int(n_trials),
         baseline_accuracy=result.baseline.accuracy,
         points=tuple(points),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
     )

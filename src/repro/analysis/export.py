@@ -117,6 +117,8 @@ def robust_exploration_to_dict(exploration, max_accuracy_loss: float = 0.01,
         "dataset": exploration.dataset,
         "sigma_v": exploration.sigma_v,
         "n_trials": exploration.n_trials,
+        "training_sigma": exploration.training_sigma,
+        "robustness_weight": exploration.robustness_weight,
         "baseline_accuracy": exploration.baseline_accuracy,
         "constraints": {
             "max_accuracy_loss": max_accuracy_loss,

@@ -35,6 +35,14 @@ under the robustness budget::
 
     python -m repro.cli table2 --sigma 0.04 --max-accuracy-drop 0.01
 
+Offset-aware *training* (``--training-sigma``): the exploration trees are
+trained with the analytic expected digit-flip penalty in their split scores,
+so robustness comes from threshold placement instead of hardware margin::
+
+    python -m repro.cli explore --sigma 0.04 --training-sigma 0.04
+    python -m repro.cli table2 --sigma 0.04 --training-sigma 0.04 \
+        --max-accuracy-drop 0.01
+
 Inspect or maintain the on-disk result store::
 
     python -m repro.cli cache stats
@@ -70,12 +78,18 @@ The GitHub Actions pipeline (``.github/workflows/ci.yml``) runs, on every
 push/PR::
 
     ruff check src tests benchmarks examples      # lint job
-    PYTHONPATH=src python -m pytest -q -m "not slow"   # tier-1 gate
+    PYTHONPATH=src python -m pytest -q -m "not slow" \
+        --cov=repro --cov-fail-under=75           # tier-1 gate (coverage floor)
 
-and nightly the full suite with artifacts::
+and nightly the full suite with artifacts plus the nightly-marked
+Monte-Carlo validation tests::
 
     PYTHONPATH=src python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
     PYTHONPATH=src python -m repro.cli table2 --jobs 4 --cache-dir .repro-cache
+    PYTHONPATH=src python -m pytest -q -m nightly --run-nightly
+
+See ``docs/TESTING.md`` for the test-layer taxonomy (unit / property /
+oracle-equivalence / golden CLI) and the marker conventions.
 """
 
 from __future__ import annotations
@@ -122,6 +136,20 @@ def _bytes_argument(value: str) -> int:
     if size < 0:
         raise argparse.ArgumentTypeError("must be a non-negative byte count")
     return size
+
+
+def _sigma_argument(value: str) -> float:
+    sigma = float(value)
+    if sigma < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative sigma in volts")
+    return sigma
+
+
+def _training_label(training_sigma: float) -> str:
+    """Header fragment naming the training mode (shared by explore/table2)."""
+    if training_sigma == 0:
+        return "nominal training"
+    return f"offset-aware training at {training_sigma * 1000:g} mV"
 
 
 def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
@@ -269,6 +297,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             include_approximate_baseline=False,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            training_sigma=args.training_sigma,
         )
     explorations = [
         run_robust_exploration(
@@ -279,6 +308,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            training_sigma=args.training_sigma,
         )
         for name in names
     ]
@@ -291,7 +321,8 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
     )
     print(
         f"Offset-aware co-design selection (sigma {args.sigma * 1000:g} mV, "
-        f"{args.trials} trials, <= 1% accuracy loss, mean drop {drop_label})\n"
+        f"{args.trials} trials, {_training_label(args.training_sigma)}, "
+        f"<= 1% accuracy loss, mean drop {drop_label})\n"
     )
     print(
         render_table(
@@ -320,6 +351,15 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     if args.sigma is not None:
         return _cmd_table2_robust(args)
+    if args.training_sigma > 0:
+        # Without --sigma there is no robustness pass to select against, so
+        # offset-aware training would silently render the nominal table.
+        print(
+            "table2: --training-sigma requires --sigma (the offset-aware "
+            "selection it trains for)",
+            file=sys.stderr,
+        )
+        return 2
     results = _suite(args, include_approximate=True)
     rows = table2_rows(results)
     print(
@@ -380,12 +420,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        training_sigma=args.training_sigma,
     )
     rows = exploration_rows(exploration.points)
     print(
         f"Variation-aware design-space exploration of {exploration.dataset} "
         f"(sigma {exploration.sigma_v * 1000:g} mV, {exploration.n_trials} "
-        f"trials/point, seed {args.seed}; baseline accuracy "
+        f"trials/point, {_training_label(exploration.training_sigma)}, "
+        f"seed {args.seed}; baseline accuracy "
         f"{exploration.baseline_accuracy * 100:.2f}%)\n"
     )
     print(
@@ -552,7 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
             # Offset-aware variant: Monte-Carlo robustness joins the selection.
             sub.add_argument(
                 "--sigma",
-                type=float,
+                type=_sigma_argument,
                 default=None,
                 help="comparator offset sigma in volts; when given, select "
                 "designs under the robustness budget (offset-aware Table II)",
@@ -570,6 +612,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="maximum allowed mean accuracy drop under offsets "
                 "(with --sigma; default 1%%)",
             )
+            sub.add_argument(
+                "--training-sigma",
+                type=_sigma_argument,
+                default=0.0,
+                help="comparator offset sigma in volts the *trainer* assumes "
+                "(with --sigma): split scores carry the analytic expected "
+                "digit-flip penalty, so the selected designs are robust by "
+                "training rather than by hardware margin (default: nominal)",
+            )
 
     explore = subparsers.add_parser(
         "explore",
@@ -583,12 +634,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument(
         "--sigma",
-        type=float,
+        type=_sigma_argument,
         default=0.02,
         help="comparator offset sigma in volts (default: 20 mV)",
     )
     explore.add_argument(
         "--trials", type=int, default=100, help="Monte-Carlo trials per design point"
+    )
+    explore.add_argument(
+        "--training-sigma",
+        type=_sigma_argument,
+        default=0.0,
+        help="comparator offset sigma in volts the *trainer* assumes; split "
+        "scores carry the analytic expected digit-flip penalty at this "
+        "sigma, steering thresholds into sparse sample regions "
+        "(default: 0, nominal Gini training)",
     )
     explore.add_argument(
         "--max-accuracy-loss",

@@ -146,6 +146,20 @@ class ADCAwareTrainer:
         level).  Disabling it is the ablation of Section III-C's power
         optimization -- the comparator *count* is still minimized but not the
         position of the retained levels.
+    training_sigma:
+        Comparator input-offset sigma assumed during training, as a fraction
+        of the ADC full scale (``sigma_volts / vdd``).  With
+        ``robustness_weight > 0`` the analytic expected-flip fraction of
+        every candidate joins its split score, so the tolerance set and all
+        tie-breaks prefer thresholds that sit in sparse sample regions
+        (offset-aware training; closes the co-design loop at Algorithm 1's
+        innermost layer).
+    robustness_weight:
+        Weight of the expected-flip penalty (``score = gini + weight *
+        expected_flips``).  Active only alongside ``training_sigma > 0``
+        (which defaults to 0, so a bare trainer is nominal); at ``0`` the
+        trainer is bit-identical -- same trees, same RNG consumption -- to
+        the nominal Algorithm 1 trainer whatever the sigma.
     """
 
     def __init__(
@@ -157,6 +171,8 @@ class ADCAwareTrainer:
         min_samples_split: int = 2,
         seed: int = 0,
         prefer_low_power_levels: bool = True,
+        training_sigma: float = 0.0,
+        robustness_weight: float = 1.0,
     ):
         if max_depth < 1:
             raise ValueError("max_depth must be at least 1")
@@ -166,6 +182,10 @@ class ADCAwareTrainer:
             raise ValueError("resolution_bits must be at least 1")
         if min_samples_leaf < 1 or min_samples_split < 2:
             raise ValueError("invalid minimum sample constraints")
+        if training_sigma < 0:
+            raise ValueError("training_sigma must be >= 0")
+        if robustness_weight < 0:
+            raise ValueError("robustness_weight must be >= 0")
         self.max_depth = max_depth
         self.gini_threshold = gini_threshold
         self.resolution_bits = resolution_bits
@@ -173,6 +193,13 @@ class ADCAwareTrainer:
         self.min_samples_split = min_samples_split
         self.seed = seed
         self.prefer_low_power_levels = prefer_low_power_levels
+        self.training_sigma = training_sigma
+        self.robustness_weight = robustness_weight
+
+    @property
+    def offset_aware(self) -> bool:
+        """Whether the expected-flip penalty participates in split scoring."""
+        return self.robustness_weight > 0 and self.training_sigma > 0
 
     # ------------------------------------------------------------------ #
     # Algorithm 1 split enumeration / selection (columnar)
@@ -187,8 +214,20 @@ class ADCAwareTrainer:
     ) -> CandidateTable:
         """Candidate splits of one node as a columnar table."""
         return enumerate_split_candidates(
-            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf,
+            flip_sigma=self.training_sigma if self.offset_aware else None,
         )
+
+    def _split_scores(self, candidates: CandidateTable) -> np.ndarray:
+        """Per-candidate split score (Gini, plus the expected-flip penalty).
+
+        With ``robustness_weight == 0`` this returns the Gini column itself,
+        keeping the nominal path bit-identical to the pre-offset-aware
+        trainer.
+        """
+        if not self.offset_aware:
+            return candidates.gini
+        return candidates.gini + self.robustness_weight * candidates.expected_flips
 
     def _select_split(
         self,
@@ -199,15 +238,19 @@ class ADCAwareTrainer:
     ) -> SplitCandidate:
         """Algorithm 1 selection as array reductions over the candidate table.
 
-        Every filter (tolerance set, cost partition, low-power level, Gini
+        Every filter (tolerance set, cost partition, low-power level, score
         ties) preserves the table's (feature, threshold) order and the final
         tie-break draws once over the finalist set, so the RNG stream -- and
         therefore the grown tree -- is bit-identical to the historical
-        object-list implementation.
+        object-list implementation whenever the expected-flip penalty is
+        inactive.  When it is active, the same structure applies to the
+        penalized score ``gini + robustness_weight * expected_flips``: the
+        tolerance set and every tie-break then prefer thresholds in sparse
+        sample regions.
         """
-        best_gini = candidates.gini.min()
+        scores = self._split_scores(candidates)
         tolerance_set = candidates.select(
-            candidates.gini <= best_gini + self.gini_threshold + 1e-15
+            scores <= scores.min() + self.gini_threshold + 1e-15
         )
         sets = partition_by_cost(tolerance_set, selected_pairs, selected_features)
 
@@ -218,8 +261,8 @@ class ADCAwareTrainer:
             if self.prefer_low_power_levels:
                 # Secondary objective: smallest threshold => lowest-power comparator.
                 pool = pool.select(pool.threshold_level == pool.threshold_level.min())
-        target_gini = pool.gini.min()
-        finalists = np.nonzero(pool.gini <= target_gini + GINI_TIE_TOLERANCE)[0]
+        pool_scores = self._split_scores(pool)
+        finalists = np.nonzero(pool_scores <= pool_scores.min() + GINI_TIE_TOLERANCE)[0]
         return pool.candidate(rng.choice(finalists.tolist()))
 
     # ------------------------------------------------------------------ #

@@ -109,6 +109,8 @@ class CoDesignFramework:
         seed: int = 0,
         include_approximate_baseline: bool = True,
         executor: Executor | None = None,
+        training_sigma: float = 0.0,
+        robustness_weight: float = 1.0,
     ):
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
@@ -119,6 +121,17 @@ class CoDesignFramework:
         self.test_size = test_size
         self.seed = seed
         self.include_approximate_baseline = include_approximate_baseline
+        #: Offset-aware training knobs of the depth x tau exploration: the
+        #: comparator offset sigma (volts) the trainer assumes, and the
+        #: weight of the expected-flip penalty in its split scores.  The
+        #: baseline [2] stays nominal -- it is the reference the accuracy
+        #: losses are measured against.
+        if training_sigma < 0:
+            raise ValueError("training_sigma must be >= 0")
+        if robustness_weight < 0:
+            raise ValueError("robustness_weight must be >= 0")
+        self.training_sigma = training_sigma
+        self.robustness_weight = robustness_weight
         #: Execution backend for the depth x tau sweep (None: serial).  Not
         #: part of the experiment configuration: it never changes results.
         self.executor = executor
@@ -197,6 +210,8 @@ class CoDesignFramework:
             depths=self.depths,
             taus=self.taus,
             seed=self.seed,
+            training_sigma=self.training_sigma,
+            robustness_weight=self.robustness_weight,
         )
         return explorer.explore(
             X_train_levels,
@@ -236,6 +251,8 @@ class CoDesignFramework:
             depths=self.depths,
             taus=self.taus,
             seed=self.seed,
+            training_sigma=self.training_sigma,
+            robustness_weight=self.robustness_weight,
         )
         return explorer.evaluate_robustness(
             exploration,

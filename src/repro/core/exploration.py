@@ -122,7 +122,22 @@ def proposed_hardware_report(
 
 
 class DesignSpaceExplorer:
-    """Brute-force exploration of the (depth, tau) hyperparameter grid."""
+    """Brute-force exploration of the (depth, tau) hyperparameter grid.
+
+    Parameters
+    ----------
+    training_sigma:
+        Comparator offset sigma **in volts** assumed during training.  When
+        positive (and ``robustness_weight > 0``), every grid point is
+        trained offset-aware: the trainer's split scores carry the analytic
+        expected-flip penalty at this sigma (normalized internally by the
+        technology's supply voltage), so thresholds avoid dense sample
+        regions and the resulting designs are inherently more
+        offset-tolerant -- without spending extra hardware on it.
+    robustness_weight:
+        Weight of the expected-flip penalty in the trainer's split score
+        (ignored while ``training_sigma`` is 0; default 1.0).
+    """
 
     def __init__(
         self,
@@ -131,12 +146,20 @@ class DesignSpaceExplorer:
         depths: tuple[int, ...] = DEFAULT_DEPTHS,
         taus: tuple[float, ...] = DEFAULT_TAUS,
         seed: int = 0,
+        training_sigma: float = 0.0,
+        robustness_weight: float = 1.0,
     ):
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
         self.depths = tuple(depths)
         self.taus = tuple(taus)
         self.seed = seed
+        if training_sigma < 0:
+            raise ValueError("training_sigma must be >= 0")
+        if robustness_weight < 0:
+            raise ValueError("robustness_weight must be >= 0")
+        self.training_sigma = training_sigma
+        self.robustness_weight = robustness_weight
         if not self.depths or not self.taus:
             raise ValueError("the exploration grid must not be empty")
 
@@ -157,6 +180,12 @@ class DesignSpaceExplorer:
             gini_threshold=tau,
             resolution_bits=self.resolution_bits,
             seed=self.seed,
+            # The trainer works in normalized full-scale units; the explorer
+            # speaks volts like every other sigma in the repository.
+            training_sigma=self.training_sigma / self.technology.vdd,
+            robustness_weight=(
+                self.robustness_weight if self.training_sigma > 0 else 0.0
+            ),
         )
         tree = trainer.fit(X_train_levels, y_train, n_classes)
         accuracy = accuracy_score(y_test, tree.predict_levels(X_test_levels))
@@ -267,6 +296,8 @@ class DesignSpaceExplorer:
                     self.resolution_bits,
                     technology=self.technology,
                     test_size=test_size,
+                    training_sigma=self.training_sigma,
+                    robustness_weight=self.robustness_weight,
                 )
                 keys[index] = key
                 cached = store.get(key)

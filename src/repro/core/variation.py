@@ -28,6 +28,7 @@ from repro.core.executor import get_executor
 from repro.core.store import make_key
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.mltrees.evaluation import accuracy_score
+from repro.mltrees.split_search import normal_cdf
 from repro.mltrees.tree import DecisionTree
 from repro.pdk.egfet import EGFETTechnology, default_technology
 
@@ -70,6 +71,122 @@ class ComparatorOffsetModel:
         """
         return np.stack([self.sample(rng, size) for _ in range(n_trials)])
 
+    def flip_probability(self, margins: np.ndarray, vdd: float = 1.0) -> np.ndarray:
+        """Analytic probability that a comparator digit flips, per margin.
+
+        A comparator with nominal (normalized) threshold ``t`` sees a sample
+        at value ``v``; its margin is ``m = v - t``.  The nominal digit is
+        ``m >= 0`` and the offset-afflicted digit is ``m >= o / vdd``, so the
+        digit flips exactly when the normalized offset ``o / vdd`` crosses
+        the margin:
+
+        * ``m >= 0``: flip iff ``o / vdd > m``, probability
+          ``1 - Phi((m - mu) / s)``;
+        * ``m < 0``: flip iff ``o / vdd <= m``, probability
+          ``Phi((m - mu) / s)``
+
+        with ``mu = mean_v / vdd`` and ``s = sigma_v / vdd``.  For the
+        centered model (``mean_v = 0``) this collapses to
+        ``Phi(-|m| * vdd / sigma_v)`` -- monotone in ``sigma_v``, symmetric
+        in the margin sign, and exactly ``0`` at ``sigma_v = 0``.
+
+        Parameters
+        ----------
+        margins:
+            Margins in *normalized* full-scale units (any shape).
+        vdd:
+            Supply (full-scale) voltage converting the volt-domain offset
+            statistics into normalized units.
+
+        Returns
+        -------
+        np.ndarray
+            Flip probabilities, same shape as ``margins``.
+        """
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        margins = np.asarray(margins, dtype=float)
+        mean = self.mean_v / vdd
+        nominal_digit = margins >= 0
+        if self.sigma_v == 0:
+            # Deterministic offset `mean`: the flip is certain or impossible.
+            offset_digit = margins >= mean
+            return (nominal_digit != offset_digit).astype(float)
+        # 1 - Phi(z) is evaluated as Phi(-z): the identity is exact and avoids
+        # the catastrophic cancellation of subtracting a near-1 CDF value, so
+        # this matches level_flip_matrix bit for bit at every margin.
+        signed = np.where(nominal_digit, mean - margins, margins - mean)
+        return normal_cdf(signed / (self.sigma_v / vdd))
+
+
+def analytic_flip_probabilities(
+    model: UnaryDecisionTree | DecisionTree,
+    X: np.ndarray,
+    sigma_v: float,
+    technology: EGFETTechnology | None = None,
+    mean_v: float = 0.0,
+) -> np.ndarray:
+    """Per-(sample, comparator) analytic digit-flip probabilities.
+
+    The closed-form counterpart of the Monte-Carlo digit comparison inside
+    :func:`simulate_offset_variation`: for every sample and every retained
+    comparator of the unary tree, the probability that a Gaussian input
+    offset of ``sigma_v`` volts flips that comparator's digit.  Columns are
+    ordered like :attr:`UnaryDecisionTree.comparators`, so the matrix lines
+    up with the offset matrices drawn by
+    :meth:`ComparatorOffsetModel.sample_matrix` -- which is exactly what the
+    property tests exploit to validate the model against the sampled path.
+
+    Returns an ``(n_samples, n_comparators)`` float matrix.
+    """
+    technology = technology if technology is not None else default_technology()
+    unary = model if isinstance(model, UnaryDecisionTree) else UnaryDecisionTree(model)
+    X = np.asarray(X, dtype=float)
+    if not unary.comparators:
+        return np.zeros((X.shape[0], 0))
+    values, nominal_thresholds = _comparator_values_and_thresholds(unary, X)
+    margins = values - nominal_thresholds
+    offset_model = ComparatorOffsetModel(sigma_v=sigma_v, mean_v=mean_v)
+    return offset_model.flip_probability(margins, technology.vdd)
+
+
+def _comparator_values_and_thresholds(
+    unary: UnaryDecisionTree, X: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-comparator sample values and nominal thresholds, in digit order.
+
+    The single source of the comparator convention -- values clipped to full
+    scale, comparator ``(feature, level)`` trips at ``level / 2**N`` -- shared
+    by the Monte-Carlo prediction path and the analytic flip model, so the
+    two can never drift apart.
+
+    Returns ``(values, thresholds)``: an ``(n_samples, n_comparators)``
+    gather of the clipped inputs and the ``(n_comparators,)`` nominal
+    normalized thresholds.
+    """
+    comparators = unary.comparators
+    features = np.array([feature for feature, _ in comparators], dtype=np.intp)
+    levels = np.array([level for _, level in comparators], dtype=float)
+    values = np.clip(np.asarray(X, dtype=float)[:, features], 0.0, 1.0)
+    return values, levels / 2 ** unary.resolution_bits
+
+
+def canonical_training_knobs(
+    training_sigma: float, robustness_weight: float
+) -> tuple[float, float]:
+    """Canonical form of the offset-aware-training knobs for cache keys.
+
+    The expected-flip penalty is inert unless *both* knobs are positive --
+    the trainer then grows exactly the nominal tree -- so every inert
+    spelling collapses to ``(0.0, 0.0)`` and nominal requests alias one
+    entry no matter how they were phrased.  Single source of truth for
+    :func:`variation_result_key` and the suite key in
+    :mod:`repro.analysis.experiments`.
+    """
+    if training_sigma == 0.0 or robustness_weight == 0.0:
+        return 0.0, 0.0
+    return float(training_sigma), float(robustness_weight)
+
 
 def variation_result_key(
     dataset: str,
@@ -81,20 +198,27 @@ def variation_result_key(
     resolution_bits: int = 4,
     technology: EGFETTechnology | None = None,
     test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> str:
     """Content-address one Monte-Carlo offset-variation run.
 
     The classifier under analysis is fully determined by ``(dataset, seed,
-    depth, tau, resolution_bits, test_size)`` -- the ADC-aware tree trained
-    on the ``test_size`` split (0.3, the paper's 70/30 protocol, by default)
-    -- so the same key serves both the per-seed summaries of ``repro.cli
-    variation`` and the per-point robustness columns of the design-space
-    exploration: either entry point warms the cache for the other.
-    ``technology`` (default: the calibrated EGFET corner) must match the
-    technology the simulation runs at -- its supply voltage scales the
-    offsets -- so custom-corner studies address distinct entries, as do runs
-    on non-default splits.  Dataset abbreviations alias their canonical
-    names; unregistered dataset names (ad-hoc studies) are keyed verbatim.
+    depth, tau, resolution_bits, test_size, training_sigma,
+    robustness_weight)`` -- the ADC-aware tree trained on the ``test_size``
+    split (0.3, the paper's 70/30 protocol, by default), nominally or with
+    the offset-aware split-scoring penalty -- so the same key serves both
+    the per-seed summaries of ``repro.cli variation`` and the per-point
+    robustness columns of the design-space exploration: either entry point
+    warms the cache for the other.  ``technology`` (default: the calibrated
+    EGFET corner) must match the technology the simulation runs at -- its
+    supply voltage scales the offsets -- so custom-corner studies address
+    distinct entries, as do runs on non-default splits.  The training
+    parameters are canonicalized (a zero ``training_sigma`` zeroes the
+    weight too, because the penalty is inert then), so nominal requests
+    phrased either way alias one entry.  Dataset abbreviations alias their
+    canonical names; unregistered dataset names (ad-hoc studies) are keyed
+    verbatim.
     """
     from repro.datasets.registry import canonical_name
 
@@ -102,6 +226,9 @@ def variation_result_key(
         dataset = canonical_name(dataset)
     except KeyError:
         pass
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
     return make_key(
         kind="offset_variation",
         dataset=dataset,
@@ -113,6 +240,8 @@ def variation_result_key(
         resolution_bits=int(resolution_bits),
         technology=technology if technology is not None else default_technology(),
         test_size=float(test_size),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
     )
 
 
@@ -186,11 +315,8 @@ def _predict_with_offsets(
             f"offset matrix has {offset_matrix.shape[1]} columns, expected one "
             f"per retained comparator ({len(comparators)})"
         )
-    n_levels = 2 ** unary.resolution_bits
-    features = np.array([feature for feature, _ in comparators], dtype=np.intp)
-    levels = np.array([level for _, level in comparators], dtype=float)
-    values = np.clip(X[:, features], 0.0, 1.0)             # (samples, comparators)
-    thresholds = levels / n_levels + offset_matrix / vdd   # (trials, comparators)
+    values, nominal_thresholds = _comparator_values_and_thresholds(unary, X)
+    thresholds = nominal_thresholds + offset_matrix / vdd  # (trials, comparators)
     digits = values[np.newaxis, :, :] >= thresholds[:, np.newaxis, :]
     n_trials, n_samples = offset_matrix.shape[0], X.shape[0]
     flat = digits.reshape(n_trials * n_samples, len(comparators))

@@ -47,6 +47,21 @@ class CARTTrainer:
         Minimum number of samples a node must hold to be split further.
     seed:
         Seed of the tie-breaking RNG (training is fully reproducible).
+    training_sigma:
+        Comparator input-offset sigma assumed during training, as a fraction
+        of the ADC full scale (``sigma_volts / vdd``).  With
+        ``robustness_weight > 0`` the expected fraction of node samples
+        whose comparator digit flips at this sigma is added to every
+        candidate's split score, steering thresholds away from dense sample
+        regions (offset-aware training).
+    robustness_weight:
+        Weight of the expected-flip penalty: the split score becomes
+        ``gini + robustness_weight * expected_flips``.  The penalty is only
+        active when both ``robustness_weight`` and ``training_sigma`` are
+        positive (``training_sigma`` defaults to 0, so a bare trainer is
+        nominal); at ``robustness_weight=0`` the trainer is bit-identical
+        -- same trees, same RNG consumption -- to the nominal Gini trainer
+        whatever the sigma.
     """
 
     def __init__(
@@ -56,6 +71,8 @@ class CARTTrainer:
         min_samples_leaf: int = 1,
         min_samples_split: int = 2,
         seed: int = 0,
+        training_sigma: float = 0.0,
+        robustness_weight: float = 1.0,
     ):
         if max_depth < 1:
             raise ValueError("max_depth must be at least 1")
@@ -63,11 +80,22 @@ class CARTTrainer:
             raise ValueError("resolution_bits must be at least 1")
         if min_samples_leaf < 1 or min_samples_split < 2:
             raise ValueError("invalid minimum sample constraints")
+        if training_sigma < 0:
+            raise ValueError("training_sigma must be >= 0")
+        if robustness_weight < 0:
+            raise ValueError("robustness_weight must be >= 0")
         self.max_depth = max_depth
         self.resolution_bits = resolution_bits
         self.min_samples_leaf = min_samples_leaf
         self.min_samples_split = min_samples_split
         self.seed = seed
+        self.training_sigma = training_sigma
+        self.robustness_weight = robustness_weight
+
+    @property
+    def offset_aware(self) -> bool:
+        """Whether the expected-flip penalty participates in split scoring."""
+        return self.robustness_weight > 0 and self.training_sigma > 0
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -159,19 +187,34 @@ class CARTTrainer:
     ) -> CandidateTable:
         """Candidate splits of one node as a columnar table."""
         return enumerate_split_candidates(
-            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf
+            X_levels, y, indices, n_classes, n_levels, self.min_samples_leaf,
+            flip_sigma=self.training_sigma if self.offset_aware else None,
         )
+
+    def _split_scores(self, candidates: CandidateTable) -> np.ndarray:
+        """Per-candidate split score the selection minimizes.
+
+        Nominal Gini unless the trainer is offset-aware, in which case the
+        analytic expected-flip fraction joins as a weighted penalty.  With
+        ``robustness_weight == 0`` this returns the Gini column itself --
+        not a copy -- so the nominal path stays bit-identical to the
+        pre-offset-aware trainer.
+        """
+        if not self.offset_aware:
+            return candidates.gini
+        return candidates.gini + self.robustness_weight * candidates.expected_flips
 
     def _select_split(
         self, candidates: CandidateTable, rng: random.Random
     ) -> SplitCandidate:
-        """Pick the best-Gini candidate, breaking ties uniformly at random.
+        """Pick the best-score candidate, breaking ties uniformly at random.
 
         Array reductions over the columnar table; ``rng`` consumption matches
         the historical list-based scan exactly (one draw over the tied set),
         so seeded trainings are bit-identical to the pre-columnar trainer.
         """
-        tied = np.nonzero(candidates.gini <= candidates.gini.min() + GINI_TIE_TOLERANCE)[0]
+        scores = self._split_scores(candidates)
+        tied = np.nonzero(scores <= scores.min() + GINI_TIE_TOLERANCE)[0]
         return candidates.candidate(rng.choice(tied.tolist()))
 
 

@@ -17,6 +17,24 @@ construction.  Trainers select splits with array reductions over the table;
 table's sequence-compatibility view (iteration, indexing, equality against
 candidate lists), which keeps object-based callers working unchanged.
 
+Offset-aware training reuses the very same histogram pass: when a
+``flip_sigma`` is requested, :func:`enumerate_split_candidates` additionally
+fills two robustness columns per candidate --
+
+* ``margin``: normalized distance from the comparator threshold to the
+  nearest sample in the node (a threshold in a dense sample region has a
+  tiny margin and is fragile under comparator input offsets), and
+* ``expected_flips``: the expected fraction of the node's samples whose
+  comparator digit flips under a Gaussian input offset of ``flip_sigma``
+  (as a fraction of full scale), computed analytically from the per-level
+  sample counts and the Gaussian CDF of the cell-center margins
+
+-- one matrix product over the already-computed level histogram, no extra
+pass over the samples.  Trainers fold ``expected_flips`` into the split
+score (see ``robustness_weight`` on the trainers); with the feature
+disabled the columns are ``None`` and the enumeration is bit-identical to
+the nominal path.
+
 The pre-columnar object-building enumeration is retained verbatim in
 :mod:`repro.mltrees.legacy_split_search` as the oracle for the equivalence
 tests and the training-throughput benchmark.
@@ -24,10 +42,64 @@ tests and the training-throughput benchmark.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
+
+_erf = np.vectorize(math.erf, otypes=[float])
+
+
+def normal_cdf(x) -> np.ndarray:
+    """Standard normal CDF, vectorized over ``math.erf`` (stdlib only).
+
+    Shared by the training-side flip penalty below and the analytic
+    comparator flip-probability model in :mod:`repro.core.variation`, so the
+    two always agree on the underlying Gaussian math.  Deliberately *not*
+    delegated to scipy when it happens to be installed: trained trees and
+    their content-addressed cache entries must be bit-identical across
+    environments, and the cache keys record nothing about a CDF backend.
+    ``math.erf`` is correctly rounded, so the only cost is that the CDF
+    underflows to exactly 0 past ~8.3 sigma -- flip probabilities far below
+    anything the penalty or a Monte-Carlo trial could resolve.
+    """
+    x = np.asarray(x, dtype=float)
+    return 0.5 * (1.0 + _erf(x / math.sqrt(2.0)))
+
+
+@lru_cache(maxsize=64)
+def level_flip_matrix(n_levels: int, sigma: float) -> np.ndarray:
+    """``(n_levels, n_levels - 1)`` analytic digit-flip probabilities.
+
+    Entry ``[level, k - 1]`` is the probability that the comparator at
+    threshold ``k`` (fires when the analog input exceeds ``k / n_levels``)
+    produces the wrong digit for a sample quantized to ``level``, under a
+    Gaussian input offset with standard deviation ``sigma`` (normalized to
+    full scale).  A sample at ``level`` represents analog values in
+    ``[level / n_levels, (level + 1) / n_levels)``, so its margin to the
+    threshold is taken at the cell center ``(level + 0.5) / n_levels`` --
+    the digit flips when the offset exceeds that margin, which happens with
+    probability ``Phi(-|margin| / sigma)``.
+
+    The matrix depends only on ``(n_levels, sigma)`` -- not on the node or
+    the feature -- so it is computed once per training run and shared by
+    every node's expected-flip column (cached; returned read-only).
+    """
+    if n_levels < 2:
+        raise ValueError("need at least two quantization levels")
+    if sigma < 0:
+        raise ValueError("flip sigma must be >= 0")
+    levels = np.arange(n_levels, dtype=float)
+    thresholds = np.arange(1, n_levels, dtype=float)
+    margins = (levels[:, np.newaxis] + 0.5 - thresholds[np.newaxis, :]) / n_levels
+    if sigma == 0.0:
+        probabilities = np.zeros_like(margins)
+    else:
+        probabilities = normal_cdf(-np.abs(margins) / sigma)
+    probabilities.setflags(write=False)
+    return probabilities
 
 
 @dataclass(frozen=True)
@@ -55,6 +127,13 @@ class CandidateTable:
     (``len``, iteration, indexing, ``==`` against lists of candidates) is a
     thin compatibility view that materializes :class:`SplitCandidate`
     objects on demand.
+
+    The two robustness columns (``margin``, ``expected_flips``) are ``None``
+    unless the enumeration was asked for them (``flip_sigma``); they ride
+    along through :meth:`select`, and equality -- both against other tables
+    and against legacy candidate lists -- intentionally compares only the
+    five nominal columns, so offset-aware tables still equal their nominal
+    counterparts when the split geometry is identical.
     """
 
     feature: np.ndarray          #: int64, feature index per candidate
@@ -62,6 +141,12 @@ class CandidateTable:
     gini: np.ndarray             #: float64, weighted Gini of the split
     n_left: np.ndarray           #: int64, samples sent to the left child
     n_right: np.ndarray          #: int64, samples sent to the right child
+    #: float64 or None: normalized distance from the threshold to the
+    #: nearest sample of the node (see ``flip_sigma``)
+    margin: np.ndarray | None = field(default=None)
+    #: float64 or None: expected fraction of node samples whose digit flips
+    #: under a Gaussian offset of the requested sigma
+    expected_flips: np.ndarray | None = field(default=None)
 
     # ------------------------------------------------------------------ #
     # columnar operations (the fast path used by the trainers)
@@ -81,6 +166,10 @@ class CandidateTable:
             gini=self.gini[which],
             n_left=self.n_left[which],
             n_right=self.n_right[which],
+            margin=None if self.margin is None else self.margin[which],
+            expected_flips=(
+                None if self.expected_flips is None else self.expected_flips[which]
+            ),
         )
 
     @classmethod
@@ -167,6 +256,7 @@ def enumerate_split_candidates(
     n_classes: int,
     n_levels: int,
     min_samples_leaf: int = 1,
+    flip_sigma: float | None = None,
 ) -> CandidateTable:
     """Enumerate every valid split of the node containing ``indices``.
 
@@ -191,6 +281,14 @@ def enumerate_split_candidates(
     min_samples_leaf:
         A split is only valid when both children receive at least this many
         samples.
+    flip_sigma:
+        When not ``None``, also fill the ``margin`` and ``expected_flips``
+        robustness columns: the comparator offset sigma as a fraction of the
+        ADC full scale (``sigma_volts / vdd``).  The columns fall out of the
+        same level histogram (one matrix product against the cached
+        :func:`level_flip_matrix`), so requesting them does not add a pass
+        over the samples.  ``None`` (the default) leaves the columns unset
+        and the enumeration bit-identical to the nominal path.
 
     Returns
     -------
@@ -246,13 +344,63 @@ def enumerate_split_candidates(
         )
     weighted = (n_left * gini_left + n_right * gini_right) / n_node
 
+    margin = expected_flips = None
+    if flip_sigma is not None:
+        level_counts = hist.sum(axis=2)                     # (F, L)
+        margin_fl, flips_fl = _robustness_columns(
+            level_counts, n_node, n_levels, float(flip_sigma)
+        )
+        margin = margin_fl.ravel()[rows]
+        expected_flips = flips_fl.ravel()[rows]
+
     return CandidateTable(
         feature=rows // n_thresholds,
         threshold_level=rows % n_thresholds + 1,
         gini=weighted.ravel()[rows],
         n_left=n_left.ravel()[rows],
         n_right=n_right.ravel()[rows],
+        margin=margin,
+        expected_flips=expected_flips,
     )
+
+
+def _robustness_columns(
+    level_counts: np.ndarray, n_node: int, n_levels: int, sigma: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Margin and expected-flip matrices of one node, shape ``(F, T)``.
+
+    ``level_counts[feature, level]`` are the node's per-level sample counts
+    (the class axis of the histogram already summed out).
+
+    * ``expected_flips[f, k - 1]`` = sum over levels of ``count *
+      P(flip | level, k, sigma)`` divided by the node size -- one matrix
+      product against the cached :func:`level_flip_matrix`.
+    * ``margin[f, k - 1]`` = normalized distance from threshold ``k`` to the
+      nearest *occupied* level's cell center, found with two running
+      extrema over the occupancy mask (no per-threshold scan).  Thresholds
+      with an empty side get ``inf`` on that side; such rows never describe
+      a valid split (one child would be empty), so callers only ever see
+      finite margins.
+    """
+    flip_matrix = level_flip_matrix(n_levels, sigma)        # (L, T)
+    expected_flips = (level_counts @ flip_matrix) / n_node  # (F, T)
+
+    level_index = np.arange(n_levels, dtype=float)
+    occupied = level_counts > 0
+    # highest occupied level <= l  /  lowest occupied level >= l
+    below = np.maximum.accumulate(
+        np.where(occupied, level_index, -np.inf), axis=1
+    )
+    above = np.minimum.accumulate(
+        np.where(occupied, level_index, np.inf)[:, ::-1], axis=1
+    )[:, ::-1]
+    thresholds = np.arange(1, n_levels, dtype=float)
+    # distance from threshold k to the cell centers of the nearest occupied
+    # level strictly below (level <= k - 1) and at-or-above (level >= k)
+    margin_below = thresholds[np.newaxis, :] - (below[:, :-1] + 0.5)
+    margin_above = (above[:, 1:] + 0.5) - thresholds[np.newaxis, :]
+    margin = np.minimum(margin_below, margin_above) / n_levels
+    return margin, expected_flips
 
 
 def best_gini(candidates: CandidateTable | Sequence[SplitCandidate]) -> float:

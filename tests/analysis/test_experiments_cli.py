@@ -483,7 +483,129 @@ class TestExploreCommand:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "Offset-aware co-design selection" in captured.out
+        assert "nominal training" in captured.out
         assert "mean drop (%)" in captured.out
+
+
+class TestTrainingSigmaCli:
+    """Golden tests for the offset-aware-training CLI surface."""
+
+    def test_parsers_accept_training_sigma(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["explore", "--dataset", "seeds", "--training-sigma", "0.04"]
+        )
+        assert args.training_sigma == 0.04
+        args = parser.parse_args(
+            ["table2", "--fast", "--sigma", "0.04", "--training-sigma", "0.02"]
+        )
+        assert args.training_sigma == 0.02
+        # nominal by default on both commands
+        assert build_parser().parse_args(
+            ["explore", "--dataset", "seeds"]
+        ).training_sigma == 0.0
+
+    def test_negative_training_sigma_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explore", "--dataset", "seeds", "--training-sigma", "-0.01"]
+            )
+
+    def test_table2_training_sigma_without_sigma_is_an_error(self, capsys):
+        """No --sigma means no robustness selection: refuse instead of
+        silently rendering the nominal table."""
+        assert main(["table2", "--fast", "--training-sigma", "0.04"]) == 2
+        captured = capsys.readouterr()
+        assert "--training-sigma requires --sigma" in captured.err
+
+    def test_explore_header_names_the_training_mode(self, capsys, tmp_path):
+        argv = [
+            "explore", "--dataset", "vertebral_2c", "--sigma", "0.04",
+            "--trials", "4", "--cache-dir", str(tmp_path / "hdr-cache"),
+        ]
+        assert main(argv) == 0
+        assert "nominal training" in capsys.readouterr().out
+        assert main(argv + ["--training-sigma", "0.04"]) == 0
+        assert "offset-aware training at 40 mV" in capsys.readouterr().out
+
+    def test_explore_json_records_training_parameters(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "aware.json"
+        assert main(
+            [
+                "explore", "--dataset", "vertebral_2c", "--sigma", "0.02",
+                "--trials", "4", "--training-sigma", "0.02",
+                "--cache-dir", str(tmp_path / "aware-cache"), "--json", str(out),
+            ]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["training_sigma"] == 0.02
+        assert payload["robustness_weight"] == 1.0
+        assert len(payload["points"]) == 49
+        # the nominal export stays nominal
+        nominal_out = tmp_path / "nominal.json"
+        assert main(
+            [
+                "explore", "--dataset", "vertebral_2c", "--sigma", "0.02",
+                "--trials", "4",
+                "--cache-dir", str(tmp_path / "aware-cache"),
+                "--json", str(nominal_out),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(nominal_out.read_text())["training_sigma"] == 0.0
+
+    def test_nominal_and_offset_aware_runs_cache_separately(self, capsys, tmp_path):
+        cache = tmp_path / "sep-cache"
+        base = [
+            "explore", "--dataset", "vertebral_2c", "--sigma", "0.02",
+            "--trials", "4", "--cache-dir", str(cache),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        nominal_entries = len(ResultStore(cache_dir=cache))
+        assert nominal_entries == 1 + 49
+        # the offset-aware run must not alias the nominal entries ...
+        assert main(base + ["--training-sigma", "0.02"]) == 0
+        capsys.readouterr()
+        assert len(ResultStore(cache_dir=cache)) == 2 * nominal_entries
+        # ... and a rerun reuses them all
+        assert main(base + ["--training-sigma", "0.02"]) == 0
+        capsys.readouterr()
+        assert len(ResultStore(cache_dir=cache)) == 2 * nominal_entries
+
+    def test_table2_training_sigma_golden_output(self, capsys, tmp_path):
+        assert main(
+            [
+                "table2", "--datasets", "vertebral_2c", "--sigma", "0.04",
+                "--training-sigma", "0.04", "--trials", "4",
+                "--max-accuracy-drop", "0.05",
+                "--cache-dir", str(tmp_path / "t2-aware-cache"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Offset-aware co-design selection" in out
+        assert "offset-aware training at 40 mV" in out
+        assert "mean drop (%)" in out
+        assert "benchmarks feasible" in out
+
+    def test_run_robust_exploration_carries_training_parameters(self):
+        from repro.analysis.experiments import run_robust_exploration
+
+        kwargs = dict(
+            sigma_v=0.03, n_trials=4, seed=0, use_cache=False, **SMALL_GRID
+        )
+        nominal = run_robust_exploration("vertebral_2c", **kwargs)
+        aware = run_robust_exploration(
+            "vertebral_2c", training_sigma=0.03, **kwargs
+        )
+        assert nominal.training_sigma == 0.0
+        assert aware.training_sigma == 0.03
+        assert aware.robustness_weight == 1.0
+        # both passes see the same nominal baseline
+        assert aware.baseline_accuracy == nominal.baseline_accuracy
 
 
 class TestCachePruneBySize:

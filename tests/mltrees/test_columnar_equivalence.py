@@ -51,12 +51,24 @@ def quantized_split():
     return _get
 
 
+#: An offset sigma large enough that a *live* flip penalty would reshape
+#: trees; with ``robustness_weight=0`` it must change absolutely nothing.
+DISABLED_PENALTY_SIGMA = 0.05
+
+
 def _assert_trainers_equivalent(name: str, quantized_split) -> None:
     X_levels, y, n_classes = quantized_split(name)
     for seed in SEEDS:
         columnar = CARTTrainer(max_depth=DEPTH, seed=seed).fit(X_levels, y, n_classes)
         legacy = LegacyCARTTrainer(max_depth=DEPTH, seed=seed).fit(X_levels, y, n_classes)
         assert columnar == legacy, f"CART tree differs on {name} (seed {seed})"
+        disabled = CARTTrainer(
+            max_depth=DEPTH, seed=seed,
+            training_sigma=DISABLED_PENALTY_SIGMA, robustness_weight=0.0,
+        ).fit(X_levels, y, n_classes)
+        assert disabled == legacy, (
+            f"robustness_weight=0 CART tree differs on {name} (seed {seed})"
+        )
         for tau in TAUS:
             columnar = ADCAwareTrainer(
                 max_depth=DEPTH, gini_threshold=tau, seed=seed
@@ -66,6 +78,16 @@ def _assert_trainers_equivalent(name: str, quantized_split) -> None:
             ).fit(X_levels, y, n_classes)
             assert columnar == legacy, (
                 f"ADC-aware tree differs on {name} (seed {seed}, tau {tau})"
+            )
+            # offset-aware machinery with the penalty disabled: node-for-node
+            # identical trees and identical RNG consumption vs the oracle
+            disabled = ADCAwareTrainer(
+                max_depth=DEPTH, gini_threshold=tau, seed=seed,
+                training_sigma=DISABLED_PENALTY_SIGMA, robustness_weight=0.0,
+            ).fit(X_levels, y, n_classes)
+            assert disabled == legacy, (
+                f"robustness_weight=0 ADC-aware tree differs on {name} "
+                f"(seed {seed}, tau {tau})"
             )
 
 
@@ -91,6 +113,25 @@ def test_candidate_tables_match_legacy_lists(name, quantized_split):
     assert table == legacy  # compat-view equality materializes each row
     # bit-identical floats, not approximate equality
     assert [c.gini for c in table] == [c.gini for c in legacy]
+
+
+def test_offset_penalty_inert_unless_both_knobs_positive(quantized_split):
+    """The flip penalty needs sigma > 0 AND weight > 0; otherwise nominal."""
+    X_levels, y, n_classes = quantized_split("seeds")
+    nominal = ADCAwareTrainer(max_depth=5, gini_threshold=0.01, seed=0).fit(
+        X_levels, y, n_classes
+    )
+    for sigma, weight in ((0.0, 2.0), (0.04, 0.0), (0.0, 0.0)):
+        inert = ADCAwareTrainer(
+            max_depth=5, gini_threshold=0.01, seed=0,
+            training_sigma=sigma, robustness_weight=weight,
+        ).fit(X_levels, y, n_classes)
+        assert inert == nominal, f"sigma={sigma}, weight={weight} must be inert"
+    aware = ADCAwareTrainer(
+        max_depth=5, gini_threshold=0.01, seed=0,
+        training_sigma=0.04, robustness_weight=1.0,
+    ).fit(X_levels, y, n_classes)
+    assert aware != nominal  # ... and really participates when both are set
 
 
 def test_ablation_flag_preserved_under_columnar_path(quantized_split):

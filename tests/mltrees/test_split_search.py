@@ -10,6 +10,7 @@ from repro.mltrees.split_search import (
     best_gini,
     class_histogram,
     enumerate_split_candidates,
+    level_flip_matrix,
 )
 
 
@@ -153,3 +154,93 @@ class TestCandidateTable:
         assert not empty
         assert empty == []
         assert empty.to_list() == []
+
+
+class TestRobustnessColumns:
+    """The margin / expected-flip columns behind offset-aware training."""
+
+    SIGMA = 0.04
+
+    @pytest.fixture(scope="class")
+    def table(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        return enumerate_split_candidates(
+            X_levels, y, np.arange(len(y)), 2, 16, flip_sigma=self.SIGMA
+        )
+
+    def test_columns_absent_unless_requested(self, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        nominal = enumerate_split_candidates(X_levels, y, np.arange(len(y)), 2, 16)
+        assert nominal.margin is None
+        assert nominal.expected_flips is None
+
+    def test_columns_present_and_aligned(self, table):
+        assert table.margin is not None and table.expected_flips is not None
+        assert table.margin.shape == table.expected_flips.shape == (len(table),)
+        assert np.all(np.isfinite(table.margin))
+        assert np.all(table.margin > 0)
+        assert np.all((table.expected_flips >= 0) & (table.expected_flips <= 0.5))
+
+    def test_margin_is_distance_to_nearest_occupied_level(
+        self, table, tiny_levels_dataset
+    ):
+        X_levels, y = tiny_levels_dataset
+        for candidate, margin in zip(table, table.margin):
+            values = X_levels[:, candidate.feature]
+            centers = (values + 0.5) / 16.0
+            expected = np.min(np.abs(centers - candidate.threshold_level / 16.0))
+            assert margin == pytest.approx(expected)
+
+    def test_expected_flips_match_per_sample_sum(self, table, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        matrix = level_flip_matrix(16, self.SIGMA)
+        for candidate, flips in zip(table, table.expected_flips):
+            values = X_levels[:, candidate.feature]
+            expected = matrix[values, candidate.threshold_level - 1].mean()
+            assert flips == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_sigma_zeroes_the_flips_but_keeps_margins(
+        self, tiny_levels_dataset, table
+    ):
+        X_levels, y = tiny_levels_dataset
+        frozen = enumerate_split_candidates(
+            X_levels, y, np.arange(len(y)), 2, 16, flip_sigma=0.0
+        )
+        assert not frozen.expected_flips.any()
+        np.testing.assert_allclose(frozen.margin, table.margin)
+
+    def test_larger_sigma_means_more_expected_flips(self, tiny_levels_dataset, table):
+        X_levels, y = tiny_levels_dataset
+        wider = enumerate_split_candidates(
+            X_levels, y, np.arange(len(y)), 2, 16, flip_sigma=2 * self.SIGMA
+        )
+        assert np.all(wider.expected_flips >= table.expected_flips)
+        assert wider.expected_flips.sum() > table.expected_flips.sum()
+
+    def test_thresholds_far_from_samples_flip_less(self, table):
+        """expected_flips falls as the margin grows (per feature, same node).
+
+        Thresholds sharing a nearest-sample margin may differ in how *many*
+        samples sit nearby, so the comparison is between distinct margin
+        groups: every strictly-larger-margin group flips less than the
+        worst of the group below it.
+        """
+        for feature in np.unique(table.feature):
+            sub = table.select(table.feature == feature)
+            margins = np.unique(sub.margin)
+            worst_by_margin = [
+                sub.expected_flips[sub.margin == margin].max() for margin in margins
+            ]
+            assert np.all(np.diff(worst_by_margin) <= 1e-12)
+
+    def test_select_carries_the_columns(self, table):
+        sub = table.select(table.margin >= np.median(table.margin))
+        assert sub.margin is not None and sub.expected_flips is not None
+        assert len(sub) > 0
+        assert np.all(sub.margin >= np.median(table.margin))
+
+    def test_equality_ignores_robustness_columns(self, table, tiny_levels_dataset):
+        X_levels, y = tiny_levels_dataset
+        nominal = enumerate_split_candidates(X_levels, y, np.arange(len(y)), 2, 16)
+        assert table == nominal  # same split geometry, columns or not
+        assert table == nominal.to_list()

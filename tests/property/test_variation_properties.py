@@ -1,0 +1,270 @@
+"""Property-based tests for the analytic comparator flip-probability model.
+
+The offset-aware training penalty and the variation-aware co-design both
+lean on one closed form: a comparator digit flips with probability
+``Phi(-|margin| / sigma)`` under a centered Gaussian input offset.  These
+tests pin the properties that make the model trustworthy:
+
+* basic shape: probabilities live in ``[0, 1/2]``, are symmetric in the
+  margin sign, decrease with distance from the threshold, and increase
+  with sigma;
+* the degenerate limits: exactly zero at ``sigma = 0`` and vanishing as
+  ``sigma -> 0``;
+* agreement with the *sampled* path: the analytic per-(sample, comparator)
+  flip probabilities match Monte-Carlo digit-flip rates computed from
+  :meth:`ComparatorOffsetModel.sample_matrix` -- the same generator the
+  production Monte-Carlo uses -- within CLT tolerance, on fixed trees and
+  on hypothesis-generated random trees/datasets.
+
+Everything is seeded (hypothesis runs derandomized), so the CLT bounds are
+deterministic, not flaky.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.unary_tree import UnaryDecisionTree
+from repro.core.variation import (
+    ComparatorOffsetModel,
+    analytic_flip_probabilities,
+)
+from repro.mltrees.cart import CARTTrainer
+from repro.mltrees.quantize import quantize_dataset
+from repro.mltrees.split_search import level_flip_matrix, normal_cdf
+
+N_FEATURES = 4
+N_LEVELS = 16
+
+margins_strategy = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=-0.5, max_value=0.5, allow_nan=False),
+)
+
+sigma_strategy = st.sampled_from([1e-4, 1e-3, 0.01, 0.02, 0.04, 0.1])
+
+
+class TestFlipProbabilityClosedForm:
+    @given(margins_strategy, sigma_strategy)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_probabilities_bounded_by_half(self, margins, sigma):
+        p = ComparatorOffsetModel(sigma_v=sigma).flip_probability(margins)
+        assert np.all(p >= 0.0)
+        # a centered offset can at worst coin-flip the digit
+        assert np.all(p <= 0.5 + 1e-12)
+
+    @given(margins_strategy, sigma_strategy)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_symmetric_in_margin_sign(self, margins, sigma):
+        model = ComparatorOffsetModel(sigma_v=sigma)
+        np.testing.assert_allclose(
+            model.flip_probability(margins),
+            model.flip_probability(-margins),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    @given(margins_strategy, sigma_strategy)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_monotone_decreasing_in_margin_distance(self, margins, sigma):
+        model = ComparatorOffsetModel(sigma_v=sigma)
+        order = np.argsort(np.abs(margins))
+        p_sorted = model.flip_probability(margins[order])
+        assert np.all(np.diff(p_sorted) <= 1e-12)
+
+    @given(margins_strategy)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_monotone_increasing_in_sigma(self, margins):
+        sigmas = (1e-4, 1e-3, 0.01, 0.02, 0.04, 0.1)
+        stacked = np.stack(
+            [
+                ComparatorOffsetModel(sigma_v=sigma).flip_probability(margins)
+                for sigma in sigmas
+            ]
+        )
+        assert np.all(np.diff(stacked, axis=0) >= -1e-12)
+
+    @given(margins_strategy)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_exactly_zero_at_sigma_zero(self, margins):
+        p = ComparatorOffsetModel(sigma_v=0.0).flip_probability(margins)
+        np.testing.assert_array_equal(p, np.zeros_like(margins))
+
+    def test_vanishes_as_sigma_approaches_zero(self):
+        margins = np.array([-0.3, -0.05, 0.02, 0.4])
+        for sigma in (1e-2, 1e-3, 1e-4):
+            p = ComparatorOffsetModel(sigma_v=sigma).flip_probability(margins)
+            # |margin| >= 0.02 is >= 2 sigma even at the largest sigma here
+            assert np.all(p <= normal_cdf(-2.0) + 1e-15)
+        assert np.all(
+            ComparatorOffsetModel(sigma_v=1e-4).flip_probability(margins) < 1e-12
+        )
+
+    @given(margins_strategy, sigma_strategy)
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_vdd_rescales_the_volt_domain_statistics(self, margins, sigma):
+        vdd = 0.8
+        np.testing.assert_allclose(
+            ComparatorOffsetModel(sigma_v=sigma).flip_probability(margins, vdd=vdd),
+            ComparatorOffsetModel(sigma_v=sigma / vdd).flip_probability(margins),
+            rtol=1e-12,
+            atol=0,
+        )
+
+    def test_deterministic_mean_offset_at_sigma_zero(self):
+        # offset is exactly `mean`: the flip is certain or impossible
+        model = ComparatorOffsetModel(sigma_v=0.0, mean_v=0.1)
+        margins = np.array([0.05, 0.2, -0.05])
+        # m=0.05: digit 1 nominally, offset threshold shift 0.1 > m -> flips;
+        # m=0.2: survives; m=-0.05: nominal 0 stays 0 (offset raises threshold)
+        np.testing.assert_array_equal(
+            model.flip_probability(margins), [1.0, 0.0, 0.0]
+        )
+
+    def test_invalid_vdd_rejected(self):
+        with pytest.raises(ValueError, match="vdd"):
+            ComparatorOffsetModel(sigma_v=0.01).flip_probability(
+                np.array([0.1]), vdd=0.0
+            )
+
+
+class TestLevelFlipMatrix:
+    def test_shape_and_bounds(self):
+        matrix = level_flip_matrix(N_LEVELS, 0.04)
+        assert matrix.shape == (N_LEVELS, N_LEVELS - 1)
+        assert np.all((matrix >= 0) & (matrix <= 0.5))
+        assert not matrix.flags.writeable  # cached: must be immutable
+
+    def test_zero_sigma_is_all_zero(self):
+        assert not level_flip_matrix(N_LEVELS, 0.0).any()
+
+    def test_monotone_in_sigma_and_distance(self):
+        small = level_flip_matrix(N_LEVELS, 0.01)
+        large = level_flip_matrix(N_LEVELS, 0.05)
+        assert np.all(large >= small)
+        # along one threshold column, probabilities fall with level distance
+        column = large[:, 7]  # threshold k = 8
+        distances = np.abs(np.arange(N_LEVELS) + 0.5 - 8)
+        order = np.argsort(distances)
+        assert np.all(np.diff(column[order]) <= 1e-12)
+
+    def test_matches_closed_form_margins(self):
+        sigma = 0.03
+        matrix = level_flip_matrix(N_LEVELS, sigma)
+        model = ComparatorOffsetModel(sigma_v=sigma)
+        levels = np.arange(N_LEVELS, dtype=float)
+        for k in (1, 5, 15):
+            margins = (levels + 0.5 - k) / N_LEVELS
+            np.testing.assert_allclose(
+                matrix[:, k - 1], model.flip_probability(margins), rtol=1e-12
+            )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            level_flip_matrix(1, 0.01)
+        with pytest.raises(ValueError):
+            level_flip_matrix(N_LEVELS, -0.01)
+
+
+def _empirical_flip_rates(
+    tree, X: np.ndarray, sigma_v: float, n_trials: int, seed: int, vdd: float = 1.0
+) -> np.ndarray:
+    """Monte-Carlo digit-flip rates from the production offset generator.
+
+    Draws the offset matrix exactly like :func:`simulate_offset_variation`
+    (same ``sample_matrix`` stream) and compares every comparator digit with
+    and without offsets; returns the ``(n_samples, n_comparators)`` flip
+    frequency.
+    """
+    unary = tree if isinstance(tree, UnaryDecisionTree) else UnaryDecisionTree(tree)
+    comparators = unary.comparators
+    features = np.array([feature for feature, _ in comparators], dtype=np.intp)
+    levels = np.array([level for _, level in comparators], dtype=float)
+    n_levels = 2 ** unary.resolution_bits
+    values = np.clip(np.asarray(X, dtype=float)[:, features], 0.0, 1.0)
+    nominal = values >= levels / n_levels
+
+    offsets = ComparatorOffsetModel(sigma_v=sigma_v).sample_matrix(
+        np.random.default_rng(seed), n_trials, len(comparators)
+    )
+    shifted = levels / n_levels + offsets[:, np.newaxis, :] / vdd
+    flipped = (values[np.newaxis, :, :] >= shifted) != nominal[np.newaxis, :, :]
+    return flipped.mean(axis=0)
+
+
+class TestAnalyticMatchesMonteCarlo:
+    N_TRIALS = 10_000
+
+    def test_agrees_with_10k_trial_monte_carlo_within_3_standard_errors(
+        self, small_tree, small_dataset
+    ):
+        """Acceptance bound: |MC rate - analytic P| <= 3 SE, per entry.
+
+        Fully seeded, so the bound is checked against one fixed draw and the
+        test is deterministic.
+        """
+        X, _ = small_dataset
+        sigma_v = 0.03
+        analytic = analytic_flip_probabilities(small_tree, X, sigma_v)
+        empirical = _empirical_flip_rates(
+            small_tree, X, sigma_v, n_trials=self.N_TRIALS, seed=0
+        )
+        assert analytic.shape == empirical.shape
+        standard_error = np.sqrt(analytic * (1.0 - analytic) / self.N_TRIALS)
+        # the 1/n term absorbs the discreteness of the empirical frequency
+        tolerance = 3.0 * standard_error + 1.0 / self.N_TRIALS
+        assert np.all(np.abs(empirical - analytic) <= tolerance)
+
+    def test_standardized_deviations_look_like_noise(self, small_tree, small_dataset):
+        """The model is unbiased, not just within-bound: mean |z| ~ 0.8."""
+        X, _ = small_dataset
+        sigma_v = 0.04
+        analytic = analytic_flip_probabilities(small_tree, X, sigma_v)
+        empirical = _empirical_flip_rates(
+            small_tree, X, sigma_v, n_trials=self.N_TRIALS, seed=1
+        )
+        standard_error = np.sqrt(analytic * (1.0 - analytic) / self.N_TRIALS)
+        informative = standard_error > 0
+        z = (empirical[informative] - analytic[informative]) / standard_error[informative]
+        assert np.mean(np.abs(z)) < 1.5
+
+    @given(
+        arrays(
+            np.float64,
+            (30, N_FEATURES),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        arrays(np.int64, (30,), elements=st.integers(0, 2)),
+        st.sampled_from([0.01, 0.02, 0.05]),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_agreement_on_random_trees_and_datasets(self, X, y, sigma_v):
+        tree = CARTTrainer(max_depth=3, seed=0).fit(
+            quantize_dataset(X), y, n_classes=3
+        )
+        unary = UnaryDecisionTree(tree)
+        if not unary.comparators:  # degenerate single-leaf tree: nothing to flip
+            assert analytic_flip_probabilities(tree, X, sigma_v).shape == (30, 0)
+            return
+        n_trials = 2_000
+        analytic = analytic_flip_probabilities(tree, X, sigma_v)
+        empirical = _empirical_flip_rates(tree, X, sigma_v, n_trials=n_trials, seed=0)
+        standard_error = np.sqrt(analytic * (1.0 - analytic) / n_trials)
+        # looser multiple at the smaller trial count: the hypothesis sweep
+        # checks many (tree, dataset) pairs, each with hundreds of entries
+        assert np.all(np.abs(empirical - analytic) <= 4.0 * standard_error + 5e-3)
+
+    def test_analytic_matrix_monotone_in_sigma_on_a_real_tree(
+        self, small_tree, small_dataset
+    ):
+        X, _ = small_dataset
+        probabilities = [
+            analytic_flip_probabilities(small_tree, X, sigma) for sigma in
+            (0.0, 0.005, 0.01, 0.02, 0.04)
+        ]
+        assert not probabilities[0].any()  # sigma = 0: never flips
+        for smaller, larger in zip(probabilities, probabilities[1:]):
+            assert np.all(larger >= smaller - 1e-12)
