@@ -18,8 +18,10 @@ from repro.analysis.tables import (
 )
 from repro.analysis.experiments import (
     RobustExploration,
+    ShardRunReport,
     default_store,
     run_benchmark_suite,
+    run_plan_shard,
     run_robust_exploration,
     run_variation_analysis,
     suite_result_key,
@@ -44,6 +46,8 @@ __all__ = [
     "run_benchmark_suite",
     "run_variation_analysis",
     "run_robust_exploration",
+    "run_plan_shard",
+    "ShardRunReport",
     "RobustExploration",
     "default_store",
     "suite_result_key",

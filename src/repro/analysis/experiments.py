@@ -34,6 +34,12 @@ sweep comes from the suite cache, and every design point is then annotated
 with a per-point robustness summary cached under the same variation keys --
 so ``variation``, ``explore`` and the offset-aware Table II all share one
 pool of Monte-Carlo results.
+
+:func:`run_plan_shard` executes one shard of a deterministic
+:class:`~repro.core.sharding.SuitePlan` into the store (``repro.cli suite
+--shard K/N``), and ``run_benchmark_suite(cache_only=True)`` is the strict
+assemble mode that renders tables from cache hits only, raising
+:class:`~repro.core.sharding.MissingResultsError` when a shard never ran.
 """
 
 from __future__ import annotations
@@ -50,15 +56,20 @@ from repro.core.exploration import (
     DesignPoint,
     select_best_design,
 )
-from repro.core.store import ResultStore, make_key
+from repro.core.sharding import (
+    MissingResultsError,
+    ShardSpec,
+    SuitePlan,
+    suite_result_key,
+    suite_work_unit,
+)
+from repro.core.store import ResultStore
 from repro.core.variation import (
     VariationAnalysis,
-    canonical_training_knobs,
     simulate_offset_variation,
     variation_result_key,
 )
 from repro.datasets.registry import canonical_name, dataset_names, load_dataset
-from repro.pdk.egfet import default_technology
 
 #: Smaller benchmarks used when a quick run is requested.
 FAST_DATASETS: tuple[str, ...] = ("balance_scale", "vertebral_3c", "vertebral_2c", "seeds")
@@ -126,40 +137,6 @@ def resolve_suite_datasets(
     return tuple(datasets)
 
 
-def suite_result_key(
-    dataset: str,
-    seed: int,
-    include_approximate_baseline: bool,
-    depths: tuple[int, ...],
-    taus: tuple[float, ...],
-    training_sigma: float = 0.0,
-    robustness_weight: float = 1.0,
-) -> str:
-    """Content-address one benchmark run of the suite configuration.
-
-    The key normalizes the dataset name and the grid containers and folds in
-    the (default) technology and the code version, so equivalent requests
-    alias and stale results from older code do not.  The offset-aware
-    training knobs participate too (canonicalized: ``training_sigma == 0``
-    zeroes the weight, because the penalty is inert then), so nominal and
-    offset-aware sweeps address distinct entries while equivalent nominal
-    requests keep aliasing.
-    """
-    training_sigma, robustness_weight = canonical_training_knobs(
-        training_sigma, robustness_weight
-    )
-    return make_key(
-        dataset=canonical_name(dataset),
-        seed=seed,
-        include_approximate_baseline=bool(include_approximate_baseline),
-        depths=tuple(depths),
-        taus=tuple(taus),
-        technology=default_technology(),
-        training_sigma=float(training_sigma),
-        robustness_weight=float(robustness_weight),
-    )
-
-
 def _run_one_benchmark(
     name: str,
     seed: int,
@@ -198,6 +175,8 @@ def run_benchmark_suite(
     use_cache: bool = True,
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
+    shard: ShardSpec | None = None,
+    cache_only: bool = False,
 ) -> list[CoDesignResult]:
     """Run the co-design flow over the benchmark suite (cached per dataset).
 
@@ -238,11 +217,37 @@ def run_benchmark_suite(
     robustness_weight:
         Weight of the expected-flip penalty in the trainer's split scores
         (ignored while ``training_sigma`` is 0).
+    shard:
+        When given, restrict the run to the datasets whose suite work unit
+        belongs to this shard (stable hashing via
+        :func:`~repro.core.sharding.suite_work_unit`, so membership is
+        reproducible across machines and invariant to request order).
+        Results come back for the shard's datasets only, in requested
+        order; other shards cover the rest.
+    cache_only:
+        Strict assemble mode: resolve every dataset from the on-disk store
+        and *never* compute.  Raises
+        :class:`~repro.core.sharding.MissingResultsError` (listing the
+        missing datasets and keys) when any entry is absent.  The
+        in-process memo is bypassed, so the store genuinely holds
+        everything the call returns.
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
+    if cache_only and not use_cache:
+        raise ValueError("cache_only requires use_cache=True")
     requested = resolve_suite_datasets(datasets, fast)
     names = [canonical_name(name) for name in requested]
+    if shard is not None:
+        names = [
+            name
+            for name in names
+            if suite_work_unit(
+                name, seed, include_approximate_baseline, depths, taus,
+                training_sigma=training_sigma,
+                robustness_weight=robustness_weight,
+            ).shard_index(shard.count) == shard.index
+        ]
 
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
@@ -254,6 +259,20 @@ def run_benchmark_suite(
         )
         for name in dict.fromkeys(names)
     }
+
+    if cache_only:
+        cached_results: dict[str, CoDesignResult] = {}
+        missing: list[tuple[str, str]] = []
+        for name, key in keys.items():
+            cached = store.get(key)
+            if cached is None:
+                missing.append((f"suite:{name}", key))
+            else:
+                cached_results[name] = cached
+        store.flush_stats()
+        if missing:
+            raise MissingResultsError(missing)
+        return [cached_results[name] for name in names]
 
     resolved: dict[str, CoDesignResult] = {}
     pending: list[str] = []
@@ -433,6 +452,7 @@ def run_robust_exploration(
     use_cache: bool = True,
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
+    cache_only: bool = False,
 ) -> RobustExploration:
     """Variation-aware design-space exploration of one benchmark.
 
@@ -448,6 +468,10 @@ def run_robust_exploration(
     (split scores penalized by the analytic expected digit-flip fraction at
     that sigma); both cache layers key on the training parameters, so
     nominal and offset-aware explorations never alias.
+
+    ``cache_only`` applies the strict assemble discipline to the nominal
+    sweep (it must be a store hit); the robustness pass then also resolves
+    from the store when a sharded run precomputed its per-point units.
     """
     name = canonical_name(dataset)
     (result,) = run_benchmark_suite(
@@ -462,6 +486,7 @@ def run_robust_exploration(
         use_cache=use_cache,
         training_sigma=training_sigma,
         robustness_weight=robustness_weight,
+        cache_only=cache_only,
     )
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
@@ -493,4 +518,151 @@ def run_robust_exploration(
         points=tuple(points),
         training_sigma=float(training_sigma),
         robustness_weight=float(robustness_weight),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# sharded execution (repro.cli suite / assemble)
+# ---------------------------------------------------------------------- #
+def _variation_unit_job(
+    dataset: str,
+    seed: int,
+    sigma_v: float,
+    n_trials: int,
+    depth: int,
+    tau: float,
+    resolution_bits: int,
+    test_size: float,
+    training_sigma: float,
+    robustness_weight: float,
+) -> VariationAnalysis:
+    """Top-level (picklable) job: compute one variation work unit from scratch.
+
+    Self-contained on purpose: the (depth, tau) tree is retrained here
+    instead of being looked up from a suite result, so a variation unit can
+    run on a shard that does *not* own the dataset's suite unit.  Training
+    is deterministic and mirrors
+    :meth:`~repro.core.exploration.DesignSpaceExplorer.evaluate_point`
+    exactly (same trainer arguments, same volts-normalized training sigma,
+    same seeded simulation), so the cached
+    :class:`~repro.core.variation.VariationAnalysis` is bit-identical to
+    what the unsharded robustness pass would have stored under the same
+    key.
+    """
+    from repro.core.adc_aware_training import ADCAwareTrainer
+    from repro.mltrees.evaluation import train_test_split
+    from repro.mltrees.quantize import quantize_dataset
+    from repro.pdk.egfet import default_technology
+
+    technology = default_technology()
+    data = load_dataset(dataset, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        data.X, data.y, test_size=test_size, seed=seed
+    )
+    trainer = ADCAwareTrainer(
+        max_depth=depth,
+        gini_threshold=tau,
+        resolution_bits=resolution_bits,
+        seed=seed,
+        training_sigma=training_sigma / technology.vdd,
+        robustness_weight=(robustness_weight if training_sigma > 0 else 0.0),
+    )
+    tree = trainer.fit(
+        quantize_dataset(X_train, resolution_bits), y_train, data.n_classes
+    )
+    return simulate_offset_variation(
+        tree, X_test, y_test, sigma_v, n_trials=n_trials,
+        technology=technology, seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class ShardRunReport:
+    """What one shard run did: unit counts, reuse, and where results went."""
+
+    shard: ShardSpec | None
+    n_units: int
+    n_suite_units: int
+    n_variation_units: int
+    reused: int
+
+    @property
+    def computed(self) -> int:
+        """Units this run actually paid for (the rest were store hits)."""
+        return self.n_units - self.reused
+
+
+def run_plan_shard(
+    plan: SuitePlan,
+    shard: ShardSpec | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    store: ResultStore | None = None,
+) -> ShardRunReport:
+    """Compute one shard's work units of ``plan`` into the result store.
+
+    Suite units are grouped per ``include_approximate_baseline`` variant and
+    delegated to :func:`run_benchmark_suite` (which fans pending datasets
+    out across ``jobs`` workers and write-throughs the store); variation
+    units missing from the store fan out through the executor as
+    self-contained :func:`_variation_unit_job` tasks.  Everything lands
+    under the exact keys the unsharded entry points use, so an assemble
+    step -- or any later ``table1``/``table2``/``explore`` invocation --
+    resolves the shard's work as plain cache hits.
+    """
+    if store is None:
+        store = ResultStore(cache_dir) if cache_dir is not None else default_store()
+    units = plan.shard(shard)
+    suite_units = [unit for unit in units if unit.kind == "suite"]
+    variation_units = [unit for unit in units if unit.kind == "variation"]
+    reused = sum(1 for unit in units if unit.store_key in store)
+
+    for variant in plan.include_approximate_variants:
+        group = [
+            unit
+            for unit in suite_units
+            if unit.params["include_approximate_baseline"] == variant
+        ]
+        if group:
+            run_benchmark_suite(
+                datasets=tuple(unit.dataset for unit in group),
+                seed=plan.seed,
+                include_approximate_baseline=variant,
+                depths=plan.depths,
+                taus=plan.taus,
+                jobs=jobs,
+                store=store,
+                training_sigma=plan.training_sigma,
+                robustness_weight=plan.robustness_weight,
+            )
+
+    pending = [unit for unit in variation_units if unit.store_key not in store]
+    if pending:
+        tasks = [
+            (
+                unit.dataset,
+                plan.seed,
+                unit.params["sigma_v"],
+                unit.params["n_trials"],
+                unit.params["depth"],
+                unit.params["tau"],
+                unit.params["resolution_bits"],
+                unit.params["test_size"],
+                unit.params["training_sigma"],
+                unit.params["robustness_weight"],
+            )
+            for unit in pending
+        ]
+        with get_executor(jobs) as executor:
+            analyses = executor.map(_variation_unit_job, tasks)
+        for unit, analysis in zip(pending, analyses):
+            store.put(unit.store_key, analysis)
+    store.flush_stats()
+
+    return ShardRunReport(
+        shard=shard,
+        n_units=len(units),
+        n_suite_units=len(suite_units),
+        n_variation_units=len(variation_units),
+        reused=reused,
     )

@@ -43,11 +43,31 @@ so robustness comes from threshold placement instead of hardware margin::
     python -m repro.cli table2 --sigma 0.04 --training-sigma 0.04 \
         --max-accuracy-drop 0.01
 
+Sharded suite execution: the work-unit planner splits the suite's
+(dataset, variant) and per-(depth, tau) Monte-Carlo units across N shards
+by stable hashing, each shard computes only its units into its own store,
+and ``assemble`` merges the shard stores and renders every table from cache
+hits *only* (non-zero exit listing the missing keys when a shard never
+ran).  Local three-way example::
+
+    python -m repro.cli suite --shard 1/3 --cache-dir shard1 --sigma 0.04
+    python -m repro.cli suite --shard 2/3 --cache-dir shard2 --sigma 0.04
+    python -m repro.cli suite --shard 3/3 --cache-dir shard3 --sigma 0.04
+    python -m repro.cli assemble --cache-dir merged --sigma 0.04 \
+        --from-store shard1 --from-store shard2 --from-store shard3 \
+        --output-dir artifacts
+
+On CI the shard stores travel as artifacts instead (``cache export`` /
+``assemble --from-archive``); see ``docs/SHARDING.md``.
+
 Inspect or maintain the on-disk result store::
 
     python -m repro.cli cache stats
+    python -m repro.cli cache stats --json     # machine-readable (CI)
     python -m repro.cli cache prune --older-than-days 14
     python -m repro.cli cache prune --max-bytes 500000000
+    python -m repro.cli cache export --output store.tar.gz
+    python -m repro.cli cache import store.tar.gz
     python -m repro.cli cache clear
 
 Parallelism and caching
@@ -79,13 +99,18 @@ push/PR::
 
     ruff check src tests benchmarks examples      # lint job
     PYTHONPATH=src python -m pytest -q -m "not slow" \
-        --cov=repro --cov-fail-under=75           # tier-1 gate (coverage floor)
+        --cov=repro --cov-fail-under=80           # tier-1 gate (coverage floor)
 
-and nightly the full suite with artifacts plus the nightly-marked
-Monte-Carlo validation tests::
+and nightly a matrix of shard jobs feeding an assemble job via artifacts,
+plus the nightly-marked Monte-Carlo validation tests::
 
-    PYTHONPATH=src python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
-    PYTHONPATH=src python -m repro.cli table2 --jobs 4 --cache-dir .repro-cache
+    PYTHONPATH=src python -m repro.cli suite --shard K/3 --jobs 4 \
+        --sigma 0.04 --trials 200 --cache-dir .repro-cache   # per shard job
+    PYTHONPATH=src python -m repro.cli cache export \
+        --cache-dir .repro-cache --output shard-K.tar.gz
+    PYTHONPATH=src python -m repro.cli assemble --sigma 0.04 --trials 200 \
+        --cache-dir .repro-assembled --from-archive shard-1.tar.gz ... \
+        --output-dir artifacts                               # assemble job
     PYTHONPATH=src python -m pytest -q -m nightly --run-nightly
 
 See ``docs/TESTING.md`` for the test-layer taxonomy (unit / property /
@@ -95,12 +120,15 @@ oracle-equivalence / golden CLI) and the marker conventions.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.figures import fig3_series, fig4_series, fig5_series
 from repro.analysis.render import render_table
 from repro.analysis.experiments import (
     run_benchmark_suite,
+    run_plan_shard,
     run_robust_exploration,
     run_variation_analysis,
 )
@@ -113,6 +141,7 @@ from repro.analysis.tables import (
     table2_rows,
     table2_summary,
 )
+from repro.core.sharding import MissingResultsError, ShardSpec, plan_suite_units
 from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
 
@@ -143,6 +172,13 @@ def _sigma_argument(value: str) -> float:
     if sigma < 0:
         raise argparse.ArgumentTypeError("must be a non-negative sigma in volts")
     return sigma
+
+
+def _shard_argument(value: str) -> ShardSpec:
+    try:
+        return ShardSpec.parse(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _training_label(training_sigma: float) -> str:
@@ -214,56 +250,54 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    results = _suite(args, include_approximate=False)
+def _render_table1(results) -> str:
+    """Table I as printed by ``table1`` (shared verbatim with ``assemble``)."""
     rows = table1_rows(results)
-    print(
-        render_table(
-            ["dataset", "acc (%)", "#comp", "#inputs", "ADC area", "total area",
-             "ADC power (mW)", "total power (mW)"],
-            [
-                (r["dataset"], r["accuracy_pct"], r["n_comparators"], r["n_inputs"],
-                 r["adc_area_mm2"], r["total_area_mm2"], r["adc_power_mw"],
-                 r["total_power_mw"])
-                for r in rows
-            ],
-        )
-    )
     summary = table1_summary(rows)
-    print(
-        f"\nAverages: total area {summary['average_total_area_mm2']:.1f} mm2, "
-        f"total power {summary['average_total_power_mw']:.2f} mW, "
-        f"ADC share {summary['average_adc_area_fraction'] * 100:.0f}% of area / "
-        f"{summary['average_adc_power_fraction'] * 100:.0f}% of power"
+    return "\n".join(
+        [
+            render_table(
+                ["dataset", "acc (%)", "#comp", "#inputs", "ADC area", "total area",
+                 "ADC power (mW)", "total power (mW)"],
+                [
+                    (r["dataset"], r["accuracy_pct"], r["n_comparators"], r["n_inputs"],
+                     r["adc_area_mm2"], r["total_area_mm2"], r["adc_power_mw"],
+                     r["total_power_mw"])
+                    for r in rows
+                ],
+            ),
+            f"\nAverages: total area {summary['average_total_area_mm2']:.1f} mm2, "
+            f"total power {summary['average_total_power_mw']:.2f} mW, "
+            f"ADC share {summary['average_adc_area_fraction'] * 100:.0f}% of area / "
+            f"{summary['average_adc_power_fraction'] * 100:.0f}% of power",
+        ]
     )
-    return 0
 
 
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    results = _suite(args, include_approximate=False)
+def _render_fig4(results) -> str:
+    """Fig. 4 as printed by ``fig4`` (shared verbatim with ``assemble``)."""
     series = fig4_series(results)
-    print(
-        render_table(
-            ["dataset", "area reduction (x)", "power reduction (x)"],
-            [
-                (r["abbreviation"], r["area_reduction_x"], r["power_reduction_x"])
-                for r in series["rows"]
-            ],
-        )
+    return "\n".join(
+        [
+            render_table(
+                ["dataset", "area reduction (x)", "power reduction (x)"],
+                [
+                    (r["abbreviation"], r["area_reduction_x"], r["power_reduction_x"])
+                    for r in series["rows"]
+                ],
+            ),
+            f"\nAverages: {series['average_area_reduction_x']:.1f}x area, "
+            f"{series['average_power_reduction_x']:.1f}x power",
+        ]
     )
-    print(
-        f"\nAverages: {series['average_area_reduction_x']:.1f}x area, "
-        f"{series['average_power_reduction_x']:.1f}x power"
-    )
-    return 0
 
 
-def _cmd_fig5(args: argparse.Namespace) -> int:
-    results = _suite(args, include_approximate=False)
-    panels = fig5_series(results)
-    for loss, panel in panels.items():
-        print(f"\n=== accuracy loss <= {loss:.0%} ===")
-        print(
+def _render_fig5(results) -> str:
+    """Fig. 5 as printed by ``fig5`` (shared verbatim with ``assemble``)."""
+    parts: list[str] = []
+    for loss, panel in fig5_series(results).items():
+        parts.append(f"\n=== accuracy loss <= {loss:.0%} ===")
+        parts.append(
             render_table(
                 ["dataset", "area reduction (%)", "power reduction (%)"],
                 [
@@ -272,11 +306,67 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
                 ],
             )
         )
-        print(
+        parts.append(
             f"Averages: {panel['average_area_reduction_pct']:.1f}% area, "
             f"{panel['average_power_reduction_pct']:.1f}% power"
         )
+    return "\n".join(parts)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(_render_table1(_suite(args, include_approximate=False)))
     return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    print(_render_fig4(_suite(args, include_approximate=False)))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    print(_render_fig5(_suite(args, include_approximate=False)))
+    return 0
+
+
+def _render_table2_robust(
+    explorations,
+    sigma: float,
+    trials: int,
+    training_sigma: float,
+    max_accuracy_drop: float | None,
+) -> str:
+    """Offset-aware Table II as printed by ``table2 --sigma`` / ``assemble``."""
+    rows = table2_robust_rows(
+        explorations, accuracy_loss=0.01, max_accuracy_drop=max_accuracy_drop
+    )
+    drop_label = (
+        "unconstrained" if max_accuracy_drop is None
+        else f"<= {max_accuracy_drop:.1%}"
+    )
+    summary = table2_robust_summary(rows)
+    return "\n".join(
+        [
+            f"Offset-aware co-design selection (sigma {sigma * 1000:g} mV, "
+            f"{trials} trials, {_training_label(training_sigma)}, "
+            f"<= 1% accuracy loss, mean drop {drop_label})\n",
+            render_table(
+                ["dataset", "depth", "tau", "acc (%)", "mean drop (%)",
+                 "worst drop (%)", "area (mm2)", "power (mW)"],
+                [
+                    (r["dataset"], r["depth"], r["tau"], r["accuracy_pct"],
+                     r["mean_accuracy_drop_pct"], r["worst_case_drop_pct"],
+                     r["area_mm2"], r["power_mw"])
+                    if r["feasible"]
+                    else (r["dataset"], "-", "-", "infeasible", "-", "-", "-", "-")
+                    for r in rows
+                ],
+            ),
+            f"\n{summary['n_feasible']}/{len(rows)} benchmarks feasible; "
+            f"averages: {summary['average_area_mm2']:.1f} mm2, "
+            f"{summary['average_power_mw']:.2f} mW, "
+            f"mean drop {summary['average_mean_accuracy_drop_pct']:.2f}%",
+        ]
+    )
 
 
 def _cmd_table2_robust(args: argparse.Namespace) -> int:
@@ -312,40 +402,41 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
         )
         for name in names
     ]
-    rows = table2_robust_rows(
-        explorations, accuracy_loss=0.01, max_accuracy_drop=args.max_accuracy_drop
-    )
-    drop_label = (
-        "unconstrained" if args.max_accuracy_drop is None
-        else f"<= {args.max_accuracy_drop:.1%}"
-    )
     print(
-        f"Offset-aware co-design selection (sigma {args.sigma * 1000:g} mV, "
-        f"{args.trials} trials, {_training_label(args.training_sigma)}, "
-        f"<= 1% accuracy loss, mean drop {drop_label})\n"
-    )
-    print(
-        render_table(
-            ["dataset", "depth", "tau", "acc (%)", "mean drop (%)",
-             "worst drop (%)", "area (mm2)", "power (mW)"],
-            [
-                (r["dataset"], r["depth"], r["tau"], r["accuracy_pct"],
-                 r["mean_accuracy_drop_pct"], r["worst_case_drop_pct"],
-                 r["area_mm2"], r["power_mw"])
-                if r["feasible"]
-                else (r["dataset"], "-", "-", "infeasible", "-", "-", "-", "-")
-                for r in rows
-            ],
+        _render_table2_robust(
+            explorations, args.sigma, args.trials, args.training_sigma,
+            args.max_accuracy_drop,
         )
     )
-    summary = table2_robust_summary(rows)
-    print(
-        f"\n{summary['n_feasible']}/{len(rows)} benchmarks feasible; "
-        f"averages: {summary['average_area_mm2']:.1f} mm2, "
-        f"{summary['average_power_mw']:.2f} mW, "
-        f"mean drop {summary['average_mean_accuracy_drop_pct']:.2f}%"
-    )
     return 0
+
+
+def _render_table2(results) -> str:
+    """Table II as printed by ``table2`` (shared verbatim with ``assemble``)."""
+    rows = table2_rows(results)
+    summary = table2_summary(rows)
+    return "\n".join(
+        [
+            render_table(
+                ["dataset", "acc (%)", "area (mm2)", "power (mW)",
+                 "vs[2] area", "vs[2] power", "vs[7] area", "vs[7] power",
+                 "self-powered"],
+                [
+                    (r["dataset"], r["accuracy_pct"], r["area_mm2"], r["power_mw"],
+                     r["area_reduction_vs_baseline_x"],
+                     r["power_reduction_vs_baseline_x"],
+                     r["area_reduction_vs_approx_x"],
+                     r["power_reduction_vs_approx_x"],
+                     r["self_powered"])
+                    for r in rows
+                ],
+            ),
+            f"\nAverages: {summary['average_area_mm2']:.1f} mm2, "
+            f"{summary['average_power_mw']:.2f} mW, "
+            f"{summary['average_area_reduction_vs_baseline_x']:.1f}x area / "
+            f"{summary['average_power_reduction_vs_baseline_x']:.1f}x power vs [2]",
+        ]
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -360,28 +451,140 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    results = _suite(args, include_approximate=True)
-    rows = table2_rows(results)
+    print(_render_table2(_suite(args, include_approximate=True)))
+    return 0
+
+
+def _plan_from_args(args: argparse.Namespace):
+    """The deterministic work-unit plan of a ``suite``/``assemble`` request.
+
+    Both commands must agree on the plan for the same flags, so shard
+    runners and the assemble step can never disagree about which units
+    exist -- this is their single constructor.
+    """
+    return plan_suite_units(
+        datasets=tuple(args.datasets) if args.datasets else None,
+        seed=args.seed,
+        fast=args.fast,
+        sigma_v=args.sigma,
+        n_trials=args.trials,
+        training_sigma=args.training_sigma,
+    )
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    """Compute one shard of the suite's work units into the result store."""
+    plan = _plan_from_args(args)
+    units = plan.shard(args.shard)
+    n_suite = sum(1 for unit in units if unit.kind == "suite")
+    n_variation = len(units) - n_suite
     print(
-        render_table(
-            ["dataset", "acc (%)", "area (mm2)", "power (mW)",
-             "vs[2] area", "vs[2] power", "vs[7] area", "vs[7] power", "self-powered"],
-            [
-                (r["dataset"], r["accuracy_pct"], r["area_mm2"], r["power_mw"],
-                 r["area_reduction_vs_baseline_x"], r["power_reduction_vs_baseline_x"],
-                 r["area_reduction_vs_approx_x"], r["power_reduction_vs_approx_x"],
-                 r["self_powered"])
-                for r in rows
-            ],
+        f"plan: {len(plan.units)} work units over {len(plan.datasets)} "
+        f"benchmarks; shard {args.shard}: {len(units)} units "
+        f"({n_suite} suite, {n_variation} variation)"
+    )
+    if args.list_units:
+        for unit in units:
+            print(f"  {unit.label}  {unit.store_key[:16]}")
+        return 0
+    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+    report = run_plan_shard(plan, args.shard, jobs=args.jobs, store=store)
+    print(
+        f"shard {args.shard}: computed {report.computed}, reused "
+        f"{report.reused} of {report.n_units} units -> {store.cache_dir}"
+    )
+    return 0
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    """Merge shard stores and render every table from cache hits only."""
+    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+    try:
+        for archive in args.from_archive or []:
+            report = store.import_archive(archive)
+            print(
+                f"imported {archive}: {report.merged} new entries, "
+                f"{report.skipped} already present"
+            )
+        for directory in args.from_store or []:
+            report = store.merge_from(ResultStore(directory))
+            print(
+                f"merged {directory}: {report.merged} new entries, "
+                f"{report.skipped} already present"
+            )
+    except (OSError, ValueError) as exc:
+        # A missing/unreadable shard artifact is a first-class assemble
+        # failure: diagnose on stderr instead of crashing with a traceback.
+        print(f"assemble: {exc}", file=sys.stderr)
+        return 2
+
+    plan = _plan_from_args(args)
+    missing = plan.missing(store)
+    if missing:
+        print(
+            f"assemble: store {store.cache_dir} is missing {len(missing)} of "
+            f"{len(plan.units)} planned units:",
+            file=sys.stderr,
         )
-    )
-    summary = table2_summary(rows)
+        for unit in missing:
+            print(f"  {unit.label}  {unit.store_key}", file=sys.stderr)
+        print(
+            "run the missing shards (repro.cli suite --shard K/N) and retry",
+            file=sys.stderr,
+        )
+        return 1
+
+    names = plan.datasets
+    try:
+        table1_results = run_benchmark_suite(
+            datasets=names, seed=args.seed, include_approximate_baseline=False,
+            store=store, cache_only=True, training_sigma=args.training_sigma,
+        )
+        table2_results = run_benchmark_suite(
+            datasets=names, seed=args.seed, include_approximate_baseline=True,
+            store=store, cache_only=True, training_sigma=args.training_sigma,
+        )
+    except MissingResultsError as exc:
+        print(f"assemble: {exc}", file=sys.stderr)
+        return 1
+
+    sections = [
+        ("table1.txt", _render_table1(table1_results)),
+        ("fig4.txt", _render_fig4(table1_results)),
+        ("fig5.txt", _render_fig5(table1_results)),
+        ("table2.txt", _render_table2(table2_results)),
+    ]
+    if args.sigma is not None:
+        explorations = [
+            run_robust_exploration(
+                name, sigma_v=args.sigma, n_trials=args.trials, seed=args.seed,
+                store=store, cache_only=True, training_sigma=args.training_sigma,
+            )
+            for name in names
+        ]
+        sections.append(
+            (
+                "table2_offset_aware.txt",
+                _render_table2_robust(
+                    explorations, args.sigma, args.trials, args.training_sigma,
+                    args.max_accuracy_drop,
+                ),
+            )
+        )
+
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for filename, text in sections:
+        print(f"==== {filename[:-4]} ====")
+        print(text)
+        if output_dir is not None:
+            (output_dir / filename).write_text(text + "\n", encoding="utf-8")
     print(
-        f"\nAverages: {summary['average_area_mm2']:.1f} mm2, "
-        f"{summary['average_power_mw']:.2f} mW, "
-        f"{summary['average_area_reduction_vs_baseline_x']:.1f}x area / "
-        f"{summary['average_power_reduction_vs_baseline_x']:.1f}x power vs [2]"
+        f"assembled {len(plan.units)} planned units from cache only: "
+        f"{store.stats.hits} hits, {store.stats.misses} misses, 0 recomputed"
     )
+    store.flush_stats()
     return 0
 
 
@@ -527,6 +730,26 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     lifetime = store.lifetime_stats()
     requests = lifetime["hits"] + lifetime["misses"]
     hit_rate = (lifetime["hits"] / requests * 100.0) if requests else 0.0
+    if args.json:
+        # Machine-readable variant: CI steps assert on hit/miss counts by
+        # parsing this instead of grepping the human rendering.
+        print(
+            json.dumps(
+                {
+                    "store": str(store.cache_dir),
+                    "entries": {
+                        "n_entries": disk.n_entries,
+                        "total_bytes": disk.total_bytes,
+                        "oldest_age_s": disk.oldest_age_s,
+                        "newest_age_s": disk.newest_age_s,
+                    },
+                    "lifetime": lifetime,
+                    "hit_rate": (lifetime["hits"] / requests) if requests else None,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"store:     {store.cache_dir}")
     print(f"entries:   {disk.n_entries}  ({disk.total_bytes / 1e6:.2f} MB)")
     if disk.oldest_age_s is not None:
@@ -545,6 +768,32 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _cache_store(args)
     removed = store.clear()
     print(f"removed {removed} entries from {store.cache_dir}")
+    return 0
+
+
+def _cmd_cache_export(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    path = store.export_archive(args.output)
+    disk = store.disk_stats()
+    print(
+        f"exported {disk.n_entries} entries ({disk.total_bytes / 1e6:.2f} MB) "
+        f"from {store.cache_dir} to {path}"
+    )
+    return 0
+
+
+def _cmd_cache_import(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    for archive in args.archives:
+        try:
+            report = store.import_archive(archive)
+        except (OSError, ValueError) as exc:
+            print(f"cache import: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"imported {archive}: {report.merged} new entries, "
+            f"{report.skipped} already present"
+        )
     return 0
 
 
@@ -734,6 +983,105 @@ def build_parser() -> argparse.ArgumentParser:
     )
     variation.set_defaults(handler=_cmd_variation)
 
+    suite = subparsers.add_parser(
+        "suite",
+        help="compute one shard of the suite's work units into the result store",
+    )
+    assemble = subparsers.add_parser(
+        "assemble",
+        help="merge shard stores and render all tables from cache hits only",
+    )
+    for sub in (suite, assemble):
+        sub.add_argument(
+            "--datasets",
+            nargs="*",
+            default=None,
+            choices=dataset_names(),
+            help="benchmarks in the plan (default: all eight)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="global seed")
+        sub.add_argument(
+            "--fast",
+            action="store_true",
+            help="restrict the default dataset list to the four small benchmarks",
+        )
+        sub.add_argument(
+            "--sigma",
+            type=_sigma_argument,
+            default=None,
+            help="also plan one offset Monte-Carlo unit per (dataset, depth, "
+            "tau) grid point at this comparator sigma in volts",
+        )
+        sub.add_argument(
+            "--trials",
+            type=int,
+            default=100,
+            help="Monte-Carlo trials per variation unit (with --sigma)",
+        )
+        sub.add_argument(
+            "--training-sigma",
+            type=_sigma_argument,
+            default=0.0,
+            help="comparator offset sigma in volts the trainer assumes "
+            "(default: nominal training)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="directory of the on-disk result store "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+        )
+    suite.add_argument(
+        "--shard",
+        type=_shard_argument,
+        default=ShardSpec(1, 1),
+        help="K/N: compute only the units stable-hashed to shard K of N "
+        "(default 1/1, the whole plan)",
+    )
+    suite.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=None,
+        help="worker processes for this shard's units "
+        "(default: serial; 0 = one per CPU)",
+    )
+    suite.add_argument(
+        "--list-units",
+        action="store_true",
+        help="print the shard's planned units and exit without computing",
+    )
+    suite.set_defaults(handler=_cmd_suite)
+    assemble.add_argument(
+        "--from-archive",
+        action="append",
+        default=None,
+        metavar="ARCHIVE",
+        help="merge this exported shard archive into the store first "
+        "(repeatable)",
+    )
+    assemble.add_argument(
+        "--from-store",
+        action="append",
+        default=None,
+        metavar="DIR",
+        help="merge this shard store directory into the store first "
+        "(repeatable)",
+    )
+    assemble.add_argument(
+        "--max-accuracy-drop",
+        type=float,
+        default=0.01,
+        help="robustness budget of the offset-aware Table II "
+        "(with --sigma; default 1%%)",
+    )
+    assemble.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write each rendered section to this directory "
+        "(table1.txt, table2.txt, fig4.txt, fig5.txt, ...)",
+    )
+    assemble.set_defaults(handler=_cmd_assemble)
+
     cache = subparsers.add_parser(
         "cache", help="inspect or maintain the on-disk result store"
     )
@@ -742,6 +1090,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("stats", _cmd_cache_stats, "entry count, size and lifetime hit/miss totals"),
         ("clear", _cmd_cache_clear, "drop every stored entry"),
         ("prune", _cmd_cache_prune, "drop entries by age and/or LRU size budget"),
+        ("export", _cmd_cache_export, "pack the store into a portable .tar.gz"),
+        ("import", _cmd_cache_import, "merge exported archives into the store"),
     ]:
         sub = cache_sub.add_parser(cache_name, help=cache_help)
         sub.add_argument(
@@ -750,6 +1100,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="directory of the on-disk result store "
             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
         )
+        if cache_name == "stats":
+            sub.add_argument(
+                "--json",
+                action="store_true",
+                help="emit machine-readable JSON (for CI assertions) instead "
+                "of the human rendering",
+            )
         if cache_name == "prune":
             sub.add_argument(
                 "--older-than-days",
@@ -763,6 +1120,18 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="evict least-recently-used entries until the store "
                 "fits this size budget",
+            )
+        if cache_name == "export":
+            sub.add_argument(
+                "--output",
+                required=True,
+                help="path of the .tar.gz archive to write",
+            )
+        if cache_name == "import":
+            sub.add_argument(
+                "archives",
+                nargs="+",
+                help="archives produced by 'cache export' to merge in",
             )
         sub.set_defaults(handler=cache_handler)
 

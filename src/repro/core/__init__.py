@@ -21,7 +21,9 @@ orchestration that ties them to the substrates:
 * :mod:`repro.core.executor` -- serial/process-parallel execution backends
   the design-space sweep and the benchmark suite submit their jobs through,
 * :mod:`repro.core.store` -- content-addressed on-disk result store shared
-  across processes and CI jobs.
+  across processes and CI jobs, with shard-store merge/transport,
+* :mod:`repro.core.sharding` -- deterministic work-unit planner splitting a
+  suite run across machines/CI jobs by stable hashing.
 """
 
 from repro.core.metrics import (
@@ -37,7 +39,16 @@ from repro.core.executor import (
     SerialExecutor,
     get_executor,
 )
-from repro.core.store import ResultStore, StoreStats, make_key
+from repro.core.store import MergeReport, ResultStore, StoreStats, make_key
+from repro.core.sharding import (
+    MissingResultsError,
+    ShardSpec,
+    SuitePlan,
+    WorkUnit,
+    plan_suite_units,
+    suite_work_unit,
+    variation_work_unit,
+)
 from repro.core.unary_tree import UnaryDecisionTree
 from repro.core.bespoke_adc import build_bespoke_adcs, build_bespoke_frontend
 from repro.core.adc_aware_training import ADCAwareTrainer
@@ -61,7 +72,15 @@ __all__ = [
     "get_executor",
     "ResultStore",
     "StoreStats",
+    "MergeReport",
     "make_key",
+    "ShardSpec",
+    "WorkUnit",
+    "SuitePlan",
+    "MissingResultsError",
+    "plan_suite_units",
+    "suite_work_unit",
+    "variation_work_unit",
     "HardwareReport",
     "ClassifierDesign",
     "ReductionReport",

@@ -45,6 +45,19 @@ DEFAULT_TAUS: tuple[float, ...] = (0.0, 0.005, 0.010, 0.015, 0.020, 0.025, 0.030
 DEFAULT_DEPTHS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
 
 
+def grid_points(
+    depths: tuple[int, ...], taus: tuple[float, ...]
+) -> tuple[tuple[int, float], ...]:
+    """The (depth, tau) grid in canonical depth-major order.
+
+    Single source of truth for every consumer that enumerates the
+    exploration grid -- the sweep itself, result ordering, and the sharded
+    work-unit planner (:mod:`repro.core.sharding`) -- so grid positions,
+    table rows and shard assignments can never disagree about order.
+    """
+    return tuple((depth, tau) for depth in depths for tau in taus)
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One evaluated point of the depth x tau design space.
@@ -232,8 +245,7 @@ class DesignSpaceExplorer:
                 tau,
                 dataset_name,
             )
-            for depth in self.depths
-            for tau in self.taus
+            for depth, tau in grid_points(self.depths, self.taus)
         ]
         return executor.map(_evaluate_point_job, tasks)
 

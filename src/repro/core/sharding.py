@@ -1,0 +1,358 @@
+"""Deterministic work-unit planning for sharded suite execution.
+
+A *work unit* is one store-addressable computation of the benchmark suite:
+
+* a ``suite`` unit -- the full co-design flow of one benchmark dataset at
+  one ``include_approximate_baseline`` variant (the per-dataset cache
+  granularity of :func:`repro.analysis.experiments.run_benchmark_suite`;
+  Table I and Figs. 4/5 render from the ``False`` variant, Table II from
+  ``True``), and
+* a ``variation`` unit -- one comparator-offset Monte-Carlo summary of one
+  (dataset, depth, tau) design point at a given sigma (the per-point cache
+  granularity shared by ``repro.cli variation`` and ``explore``).
+
+:func:`plan_suite_units` enumerates the units of a suite configuration in a
+canonical order, and every unit assigns itself to one of ``N`` shards by
+**stable hashing** (:meth:`WorkUnit.shard_index`): SHA-256 of the unit's
+canonical identity, which contains only *what* is computed -- dataset, seed,
+grid, sigma, training knobs -- never the code version, the enumeration
+order, or anything process-specific.  Shard membership is therefore
+reproducible across machines and invariant to dataset ordering: shard
+``K/N`` computes the same subset wherever it runs, and the union over
+``K = 1..N`` is a disjoint cover of the full plan.
+
+Each shard computes its units into its own
+:class:`~repro.core.store.ResultStore`, ships the store as a CI artifact
+(:meth:`~repro.core.store.ResultStore.export_archive`), and a final
+assemble step folds the shard stores into one
+(:meth:`~repro.core.store.ResultStore.merge_from`) and renders every table
+from cache hits only (``repro.cli assemble``), raising
+:class:`MissingResultsError` -- with the missing keys listed -- when any
+planned unit was never computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS, grid_points
+from repro.core.store import make_key
+from repro.core.variation import canonical_training_knobs, variation_result_key
+from repro.datasets.registry import canonical_name
+from repro.pdk.egfet import default_technology
+
+
+def suite_result_key(
+    dataset: str,
+    seed: int,
+    include_approximate_baseline: bool,
+    depths: tuple[int, ...],
+    taus: tuple[float, ...],
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+) -> str:
+    """Content-address one benchmark run of the suite configuration.
+
+    The key normalizes the dataset name and the grid containers and folds in
+    the (default) technology and the code version, so equivalent requests
+    alias and stale results from older code do not.  The offset-aware
+    training knobs participate too (canonicalized: ``training_sigma == 0``
+    zeroes the weight, because the penalty is inert then), so nominal and
+    offset-aware sweeps address distinct entries while equivalent nominal
+    requests keep aliasing.
+    """
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    return make_key(
+        dataset=canonical_name(dataset),
+        seed=seed,
+        include_approximate_baseline=bool(include_approximate_baseline),
+        depths=tuple(depths),
+        taus=tuple(taus),
+        technology=default_technology(),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an ``N``-way split, written ``K/N`` (1-based)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI spelling ``"K/N"`` (e.g. ``"2/3"``)."""
+        head, sep, tail = str(text).strip().partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            index, count = int(head), int(tail)
+        except ValueError:
+            raise ValueError(
+                f"shard must be spelled K/N (e.g. 2/3), got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One store-addressable computation of a suite plan.
+
+    ``identity`` is the unit's canonical, code-version-independent identity
+    (primitives only) -- the sole input of the shard hash, so membership
+    survives version bumps even though ``store_key`` does not.  ``params``
+    carries everything needed to compute the unit; it does not participate
+    in equality or hashing.
+    """
+
+    kind: str  #: ``"suite"`` or ``"variation"``
+    dataset: str
+    seed: int
+    label: str  #: human-readable name used in plans and error listings
+    store_key: str  #: content address of the result in the ResultStore
+    identity: tuple
+    params: dict = field(compare=False, repr=False)
+
+    def shard_index(self, n_shards: int) -> int:
+        """Stable 1-based shard assignment of this unit among ``n_shards``.
+
+        SHA-256 of the canonical JSON form of :attr:`identity`: independent
+        of ``PYTHONHASHSEED``, the host, the process, and the order the plan
+        enumerated its units in.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        rendered = json.dumps(self.identity, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(rendered.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % n_shards + 1
+
+
+def suite_work_unit(
+    dataset: str,
+    seed: int,
+    include_approximate_baseline: bool,
+    depths: tuple[int, ...],
+    taus: tuple[float, ...],
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+) -> WorkUnit:
+    """The work unit of one per-dataset suite run (one cache entry)."""
+    name = canonical_name(dataset)
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    variant = "table2" if include_approximate_baseline else "table1"
+    return WorkUnit(
+        kind="suite",
+        dataset=name,
+        seed=int(seed),
+        label=f"suite:{name}[{variant}]",
+        store_key=suite_result_key(
+            name, seed, include_approximate_baseline, depths, taus,
+            training_sigma=training_sigma, robustness_weight=robustness_weight,
+        ),
+        identity=(
+            "suite", name, int(seed), bool(include_approximate_baseline),
+            tuple(depths), tuple(taus),
+            float(training_sigma), float(robustness_weight),
+        ),
+        params={
+            "include_approximate_baseline": bool(include_approximate_baseline),
+            "depths": tuple(depths),
+            "taus": tuple(taus),
+            "training_sigma": float(training_sigma),
+            "robustness_weight": float(robustness_weight),
+        },
+    )
+
+
+def variation_work_unit(
+    dataset: str,
+    seed: int,
+    sigma_v: float,
+    n_trials: int,
+    depth: int,
+    tau: float,
+    resolution_bits: int = 4,
+    test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+) -> WorkUnit:
+    """The work unit of one per-point offset Monte-Carlo (one cache entry)."""
+    name = canonical_name(dataset)
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    return WorkUnit(
+        kind="variation",
+        dataset=name,
+        seed=int(seed),
+        label=f"variation:{name}[d={depth},tau={tau:g},sigma={sigma_v:g}]",
+        store_key=variation_result_key(
+            name, seed, sigma_v, n_trials, depth, tau, resolution_bits,
+            test_size=test_size,
+            training_sigma=training_sigma, robustness_weight=robustness_weight,
+        ),
+        identity=(
+            "variation", name, int(seed), float(sigma_v), int(n_trials),
+            int(depth), float(tau), int(resolution_bits), float(test_size),
+            float(training_sigma), float(robustness_weight),
+        ),
+        params={
+            "sigma_v": float(sigma_v),
+            "n_trials": int(n_trials),
+            "depth": int(depth),
+            "tau": float(tau),
+            "resolution_bits": int(resolution_bits),
+            "test_size": float(test_size),
+            "training_sigma": float(training_sigma),
+            "robustness_weight": float(robustness_weight),
+        },
+    )
+
+
+class MissingResultsError(RuntimeError):
+    """A cache-only run found planned units absent from the store.
+
+    ``missing`` holds ``(label, store_key)`` pairs -- enough to see *which*
+    shard never ran and to look the keys up by hand.  The message lists
+    every pair, so a failed CI assemble names the gap instead of a generic
+    nonzero exit.
+    """
+
+    def __init__(self, missing):
+        self.missing: tuple[tuple[str, str], ...] = tuple(
+            (str(label), str(key)) for label, key in missing
+        )
+        lines = "\n".join(f"  {label}  {key}" for label, key in self.missing)
+        super().__init__(
+            f"{len(self.missing)} planned unit(s) missing from the result "
+            f"store (was a shard skipped?):\n{lines}"
+        )
+
+
+@dataclass(frozen=True)
+class SuitePlan:
+    """The deterministic work-unit enumeration of one suite configuration.
+
+    Carries the configuration itself (so a shard runner can reconstruct the
+    exact :func:`~repro.analysis.experiments.run_benchmark_suite` calls) and
+    the canonical unit tuple.  Partitioning happens per unit via
+    :meth:`WorkUnit.shard_index`; :meth:`shard` filters, :meth:`missing`
+    diffs the plan against a store.
+    """
+
+    datasets: tuple[str, ...]
+    seed: int
+    depths: tuple[int, ...]
+    taus: tuple[float, ...]
+    include_approximate_variants: tuple[bool, ...]
+    sigma_v: float | None
+    n_trials: int
+    training_sigma: float
+    robustness_weight: float
+    units: tuple[WorkUnit, ...]
+
+    def shard(self, spec: ShardSpec | None) -> tuple[WorkUnit, ...]:
+        """The units assigned to ``spec`` (all units when ``spec`` is None)."""
+        if spec is None:
+            return self.units
+        return tuple(
+            unit for unit in self.units
+            if unit.shard_index(spec.count) == spec.index
+        )
+
+    def missing(self, store) -> tuple[WorkUnit, ...]:
+        """Planned units whose results are absent from ``store``.
+
+        Pure membership checks: never loads entries, never counts store
+        misses -- so a subsequent cache-only render still reports zero
+        misses on a complete store.
+        """
+        return tuple(unit for unit in self.units if unit.store_key not in store)
+
+
+def plan_suite_units(
+    datasets: tuple[str, ...] | None = None,
+    seed: int = 0,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    taus: tuple[float, ...] = DEFAULT_TAUS,
+    fast: bool = False,
+    include_approximate_variants: tuple[bool, ...] = (False, True),
+    sigma_v: float | None = None,
+    n_trials: int = 100,
+    resolution_bits: int = 4,
+    test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+) -> SuitePlan:
+    """Enumerate the work units of one suite configuration, in canonical order.
+
+    Suite units come first (dataset-major, the ``include_approximate``
+    variants inner); with ``sigma_v`` given, one variation unit per
+    (dataset, depth, tau) grid point follows (dataset-major, the grid in the
+    depth-major order of :func:`~repro.core.exploration.grid_points`).  The
+    enumeration order is presentation only -- shard membership depends on
+    each unit's identity alone, so reordering ``datasets`` never moves a
+    unit between shards.
+    """
+    # Deferred: experiments imports this module (layering: analysis -> core).
+    from repro.analysis.experiments import resolve_suite_datasets
+
+    requested = resolve_suite_datasets(datasets, fast)
+    names = tuple(dict.fromkeys(canonical_name(name) for name in requested))
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    units: list[WorkUnit] = []
+    for name in names:
+        for variant in include_approximate_variants:
+            units.append(
+                suite_work_unit(
+                    name, seed, variant, depths, taus,
+                    training_sigma=training_sigma,
+                    robustness_weight=robustness_weight,
+                )
+            )
+    if sigma_v is not None:
+        for name in names:
+            for depth, tau in grid_points(depths, taus):
+                units.append(
+                    variation_work_unit(
+                        name, seed, sigma_v, n_trials, depth, tau,
+                        resolution_bits=resolution_bits, test_size=test_size,
+                        training_sigma=training_sigma,
+                        robustness_weight=robustness_weight,
+                    )
+                )
+    return SuitePlan(
+        datasets=names,
+        seed=int(seed),
+        depths=tuple(depths),
+        taus=tuple(taus),
+        include_approximate_variants=tuple(
+            bool(v) for v in include_approximate_variants
+        ),
+        sigma_v=None if sigma_v is None else float(sigma_v),
+        n_trials=int(n_trials),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
+        units=tuple(units),
+    )

@@ -22,11 +22,15 @@ partial entries.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import pickle
+import re
+import tarfile
 import tempfile
 import time
+import uuid
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 
@@ -37,6 +41,11 @@ STORE_SCHEMA_VERSION = 1
 #: A ``*.tmp`` file younger than this is presumed to be a concurrent writer's
 #: in-flight entry (mkstemp -> os.replace window) and is never swept.
 _TMP_GRACE_S = 3600.0
+
+#: Entry member names allowed out of an archive: exactly one SHA-256 key plus
+#: the ``.pkl`` suffix -- flat, no path separators, so a crafted archive can
+#: never write outside the staging directory.
+_ARCHIVE_ENTRY_RE = re.compile(r"[0-9a-f]{64}\.pkl")
 
 
 def code_version() -> str:
@@ -122,6 +131,31 @@ class StoreDiskStats:
     total_bytes: int
     oldest_age_s: float | None = None
     newest_age_s: float | None = None
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of folding one store (or archive) into another.
+
+    Attributes
+    ----------
+    merged / skipped:
+        Entries copied in vs. entries already present (content-address
+        dedup: same key means same result, so duplicates are never
+        re-copied).
+    stats_merged:
+        Whether the source's lifetime hit/miss accounting was absorbed into
+        the target's (False when the source never recorded any).
+    """
+
+    merged: int
+    skipped: int
+    stats_merged: bool
+
+    @property
+    def source_entries(self) -> int:
+        """Total entries the source held (merged + skipped)."""
+        return self.merged + self.skipped
 
 
 def default_cache_dir() -> Path:
@@ -363,17 +397,89 @@ class ResultStore:
     def _stats_path(self) -> Path:
         return self.cache_dir / "_stats.json"
 
-    def _read_lifetime_stats(self) -> dict[str, int]:
+    def _read_stats_file(self) -> dict:
+        """The raw ``_stats.json`` object ({} when absent or corrupt)."""
         try:
             with open(self._stats_path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
-            if not isinstance(raw, dict):
-                raise ValueError("stats file does not hold an object")
+            return raw if isinstance(raw, dict) else {}
+        except (OSError, ValueError):
+            return {}
+
+    def _read_lifetime_stats(self) -> dict[str, int]:
+        """This store's *own* persisted counters (merged sources excluded)."""
+        raw = self._read_stats_file()
+        try:
             return {
                 field: int(raw.get(field, 0)) for field in ("hits", "misses", "stores")
             }
-        except (OSError, ValueError, TypeError):
+        except (ValueError, TypeError):
             return {"hits": 0, "misses": 0, "stores": 0}
+
+    def _read_sources(self) -> dict[str, dict[str, int]]:
+        """Per-source counters absorbed by :meth:`merge_from`, keyed by store id."""
+        raw = self._read_stats_file().get("sources")
+        sources: dict[str, dict[str, int]] = {}
+        if isinstance(raw, dict):
+            for source_id, counters in raw.items():
+                if not isinstance(counters, dict):
+                    continue
+                try:
+                    sources[str(source_id)] = {
+                        field: int(counters.get(field, 0))
+                        for field in ("hits", "misses", "stores")
+                    }
+                except (ValueError, TypeError):
+                    continue
+        return sources
+
+    def _write_stats_file(self, payload: dict) -> bool:
+        """Atomically rewrite ``_stats.json``; False when the store is read-only."""
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        except OSError:
+            return False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._stats_path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return True
+
+    def _persistent_store_id(self, create: bool = False) -> str | None:
+        """Stable identity of this store directory, persisted in ``_stats.json``.
+
+        The id is what makes stats aggregation across :meth:`merge_from`
+        *idempotent*: a source's counters are recorded under its id
+        (replacing any earlier record), so re-merging the same shard store
+        never double-counts.  Generated lazily on first need; ``None`` on a
+        read-only store that never had one (its counters then simply cannot
+        be aggregated).
+        """
+        raw = self._read_stats_file()
+        store_id = raw.get("store_id")
+        if isinstance(store_id, str) and store_id:
+            return store_id
+        if not create:
+            return None
+        store_id = uuid.uuid4().hex
+        payload = dict(raw)
+        payload["store_id"] = store_id
+        if not self._write_stats_file(payload):
+            return None
+        return store_id
 
     def _unflushed_delta(self) -> dict[str, int]:
         return {
@@ -389,45 +495,216 @@ class ResultStore:
         rates accumulate across processes and CI jobs (``repro.cli cache
         stats`` reports them).  Only the counts accumulated since the last
         flush are added (the in-memory :attr:`stats` keep counting
-        untouched); concurrent flushes are last-writer-wins, which keeps the
-        totals approximate but never corrupt.  Returns the merged totals.
+        untouched); the store id and any counters absorbed from merged
+        source stores are preserved.  Concurrent flushes are
+        last-writer-wins, which keeps the totals approximate but never
+        corrupt.  On a read-only store (e.g. a shared CI cache mounted
+        read-only) accounting degrades to the in-memory counters instead of
+        failing the lookup.  Returns the merged lifetime totals (merged
+        sources included).
+        """
+        raw = self._read_stats_file()
+        own = self._read_lifetime_stats()
+        for field, delta in self._unflushed_delta().items():
+            own[field] += max(0, delta)
+        sources = self._read_sources()
+        totals = dict(own)
+        for counters in sources.values():
+            for field in totals:
+                totals[field] += counters[field]
+        payload: dict = dict(own)
+        if sources:
+            payload["sources"] = sources
+        store_id = raw.get("store_id")
+        if isinstance(store_id, str) and store_id:
+            payload["store_id"] = store_id
+        if self._write_stats_file(payload):
+            self._flushed = StoreStats(
+                self.stats.hits, self.stats.misses, self.stats.stores
+            )
+        return totals
+
+    def lifetime_stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/store totals across every process and merged shard.
+
+        Flushed file + this instance's unflushed counters + the counters of
+        every source store absorbed by :meth:`merge_from`.
         """
         totals = self._read_lifetime_stats()
         for field, delta in self._unflushed_delta().items():
             totals[field] += max(0, delta)
+        for counters in self._read_sources().values():
+            for field in totals:
+                totals[field] += counters[field]
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # merge and transport (sharded CI runs)
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "ResultStore") -> MergeReport:
+        """Fold another store's entries and accounting into this one.
+
+        Entries are content-addressed, so the merge is a pure union: keys
+        already present are skipped (same key, same result -- recomputing or
+        re-copying would change nothing), new keys are copied atomically.
+        The source's *persisted* lifetime counters are recorded under its
+        store id (replacing any earlier record of the same source, which
+        makes re-merges idempotent) and surface in this store's
+        :meth:`lifetime_stats`; flush the source first if its in-memory
+        counters matter.  This is how a CI assemble job folds N shard
+        stores into the one it renders from.
+        """
+        other_dir = Path(other.cache_dir)
+        if other_dir.resolve() == self.cache_dir.resolve():
+            raise ValueError("cannot merge a result store into itself")
+        merged = skipped = 0
+        if other_dir.is_dir():
+            entries = sorted(other_dir.glob("*.pkl"))
+            if entries:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            for path in entries:
+                dest = self.cache_dir / path.name
+                if dest.exists():
+                    skipped += 1
+                    continue
+                fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(path.read_bytes())
+                    os.replace(tmp_name, dest)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except FileNotFoundError:
+                        pass
+                    raise
+                merged += 1
+        stats_merged = self._absorb_source_stats(other)
+        return MergeReport(merged=merged, skipped=skipped, stats_merged=stats_merged)
+
+    def _absorb_source_stats(self, other: "ResultStore") -> bool:
+        """Record ``other``'s persisted counters under its store id (idempotent)."""
+        incoming = dict(other._read_sources())
+        own = other._read_lifetime_stats()
+        if any(own.values()):
+            source_id = other._persistent_store_id(create=True)
+            if source_id is not None:
+                incoming[source_id] = own
+        if not incoming:
+            return False
+        my_id = self._persistent_store_id()
+        # Never record ourselves as our own source (A -> B -> A round trips).
+        if my_id is not None:
+            incoming.pop(my_id, None)
+        if not incoming:
+            return False
+        sources = self._read_sources()
+        if all(sources.get(sid) == counters for sid, counters in incoming.items()):
+            return True  # already absorbed: re-merge changes nothing
+        sources.update(incoming)
+        raw = self._read_stats_file()
+        payload: dict = self._read_lifetime_stats()
+        payload["sources"] = sources
+        store_id = raw.get("store_id")
+        if isinstance(store_id, str) and store_id:
+            payload["store_id"] = store_id
+        return self._write_stats_file(payload)
+
+    def export_archive(self, path: str | Path) -> Path:
+        """Pack the whole store into a portable gzipped tar at ``path``.
+
+        The archive holds one flat member per entry (``<key>.pkl``), the
+        stats file, and a ``manifest.json`` recording the payload schema --
+        everything :meth:`import_archive` needs to validate and fold the
+        store into another one.  Written atomically; entry order, modes and
+        timestamps are normalized so equal stores produce equal archives.
+        This is the transport format shard CI jobs upload as artifacts.
+        """
+        path = Path(path)
+        self.flush_stats()  # persist this instance's counters for the trip
+        store_id = self._persistent_store_id(create=True)
+        entries = (
+            sorted(self.cache_dir.glob("*.pkl")) if self.cache_dir.is_dir() else []
+        )
+        manifest = {
+            "format": "repro-result-store",
+            "schema": STORE_SCHEMA_VERSION,
+            "n_entries": len(entries),
+            "code_version": code_version(),
+            "store_id": store_id,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        except OSError:
-            # Read-only store (e.g. a shared CI cache mounted read-only):
-            # reading entries must keep working, so accounting degrades to
-            # the in-memory counters instead of failing the lookup.
-            return totals
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(totals, handle)
-            os.replace(tmp_name, self._stats_path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            return totals
+            with os.fdopen(fd, "wb") as handle:
+                with tarfile.open(fileobj=handle, mode="w:gz") as tar:
+
+                    def add_member(name: str, data: bytes) -> None:
+                        info = tarfile.TarInfo(name=name)
+                        info.size = len(data)
+                        info.mtime = 0
+                        info.mode = 0o644
+                        tar.addfile(info, io.BytesIO(data))
+
+                    add_member(
+                        "manifest.json",
+                        json.dumps(manifest, sort_keys=True).encode("utf-8"),
+                    )
+                    if self._stats_path.is_file():
+                        add_member("_stats.json", self._stats_path.read_bytes())
+                    for entry in entries:
+                        add_member(entry.name, entry.read_bytes())
+            os.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except FileNotFoundError:
                 pass
             raise
-        self._flushed = StoreStats(self.stats.hits, self.stats.misses, self.stats.stores)
-        return totals
+        return path
 
-    def lifetime_stats(self) -> dict[str, int]:
-        """Lifetime hit/miss/store totals (flushed file + unflushed counters)."""
-        totals = self._read_lifetime_stats()
-        for field, delta in self._unflushed_delta().items():
-            totals[field] += max(0, delta)
-        return totals
+    def import_archive(self, path: str | Path) -> MergeReport:
+        """Unpack an :meth:`export_archive` file and merge it into this store.
+
+        Validates the manifest (format and payload schema must match this
+        code) and stages only well-formed members -- ``<sha256>.pkl`` entry
+        names and ``_stats.json``, nothing with path separators -- before
+        delegating to :meth:`merge_from`, so a crafted archive can neither
+        escape the staging directory nor inject foreign files.  Idempotent
+        like the merge it wraps.
+        """
+        path = Path(path)
+        try:
+            tar = tarfile.open(path, mode="r:gz")
+        except tarfile.TarError as exc:
+            raise ValueError(f"{path}: not a result-store archive ({exc})") from exc
+        with tar, tempfile.TemporaryDirectory() as tmp_dir:
+            members = {m.name: m for m in tar.getmembers() if m.isfile()}
+            manifest_member = members.get("manifest.json")
+            if manifest_member is None:
+                raise ValueError(
+                    f"{path}: not a result-store archive (no manifest.json)"
+                )
+            try:
+                manifest = json.loads(tar.extractfile(manifest_member).read())
+            except ValueError as exc:
+                raise ValueError(f"{path}: unreadable manifest.json") from exc
+            if (
+                not isinstance(manifest, dict)
+                or manifest.get("format") != "repro-result-store"
+            ):
+                raise ValueError(f"{path}: not a result-store archive")
+            schema = manifest.get("schema")
+            if schema != STORE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: archive payload schema {schema!r} does not match "
+                    f"this code (schema {STORE_SCHEMA_VERSION})"
+                )
+            staging = Path(tmp_dir)
+            for name, member in members.items():
+                if name == "_stats.json" or _ARCHIVE_ENTRY_RE.fullmatch(name):
+                    (staging / name).write_bytes(tar.extractfile(member).read())
+            return self.merge_from(ResultStore(cache_dir=staging))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore(cache_dir={str(self.cache_dir)!r})"

@@ -665,3 +665,298 @@ class TestResolveSuiteDatasets:
         assert resolve_suite_datasets(None, fast=False) == tuple(dataset_names())
         assert resolve_suite_datasets(None, fast=True) == FAST_DATASETS
         assert resolve_suite_datasets(("SE", "V2"), fast=True) == ("SE", "V2")
+
+
+class TestShardedSuiteApi:
+    def test_shard_filter_partitions_datasets(self, tmp_path):
+        from repro.core.sharding import ShardSpec
+
+        store = ResultStore(cache_dir=tmp_path / "cache")
+        kwargs = dict(
+            datasets=("vertebral_2c", "seeds", "balance_scale"),
+            include_approximate_baseline=False,
+            store=store,
+            **SMALL_GRID,
+        )
+        full = run_benchmark_suite(**kwargs)
+        by_shard = [
+            run_benchmark_suite(shard=ShardSpec(index, 3), **kwargs)
+            for index in (1, 2, 3)
+        ]
+        names = [r.dataset for results in by_shard for r in results]
+        assert sorted(names) == sorted(r.dataset for r in full)  # disjoint cover
+        lookup = {r.dataset: r for r in full}
+        for results in by_shard:
+            for result in results:
+                assert result is lookup[result.dataset]  # memo identity: reused
+
+    def test_cache_only_requires_use_cache(self):
+        with pytest.raises(ValueError, match="cache_only"):
+            run_benchmark_suite(
+                datasets=("seeds",), use_cache=False, cache_only=True, **SMALL_GRID
+            )
+
+    def test_cache_only_raises_listing_missing_units(self, tmp_path):
+        from repro.core.sharding import MissingResultsError
+
+        store = ResultStore(cache_dir=tmp_path / "empty")
+        with pytest.raises(MissingResultsError) as excinfo:
+            run_benchmark_suite(
+                datasets=("vertebral_2c",),
+                include_approximate_baseline=False,
+                store=store,
+                cache_only=True,
+                **SMALL_GRID,
+            )
+        assert "suite:vertebral_2c" in str(excinfo.value)
+        assert len(excinfo.value.missing) == 1
+
+    def test_cache_only_serves_from_store_with_zero_misses(self, tmp_path):
+        from repro.analysis.experiments import clear_memo
+
+        store = ResultStore(cache_dir=tmp_path / "warm")
+        kwargs = dict(
+            datasets=("vertebral_2c",),
+            include_approximate_baseline=False,
+            **SMALL_GRID,
+        )
+        first = run_benchmark_suite(store=store, **kwargs)
+        clear_memo()
+        reader = ResultStore(cache_dir=tmp_path / "warm")
+        results = run_benchmark_suite(store=reader, cache_only=True, **kwargs)
+        assert results == first
+        assert reader.stats.hits == 1
+        assert reader.stats.misses == 0   # zero recomputation, zero misses
+        assert reader.stats.stores == 0
+
+    def test_cache_only_bypasses_the_memo(self, tmp_path):
+        """A warm in-process memo must not mask a missing store entry."""
+        from repro.core.sharding import MissingResultsError
+
+        store = ResultStore(cache_dir=tmp_path / "gone")
+        kwargs = dict(
+            datasets=("vertebral_2c",),
+            include_approximate_baseline=False,
+            **SMALL_GRID,
+        )
+        run_benchmark_suite(store=store, **kwargs)  # computes and memoizes
+        store.clear()
+        with pytest.raises(MissingResultsError):
+            run_benchmark_suite(store=store, cache_only=True, **kwargs)
+
+
+class TestRunPlanShard:
+    def test_shards_cover_plan_and_cache_only_render_matches_unsharded(
+        self, tmp_path
+    ):
+        from repro.analysis.experiments import (
+            clear_memo,
+            run_plan_shard,
+            run_robust_exploration,
+        )
+        from repro.core.sharding import ShardSpec, plan_suite_units
+
+        plan = plan_suite_units(
+            datasets=("vertebral_2c", "seeds"), sigma_v=0.02, n_trials=4,
+            **SMALL_GRID,
+        )
+        store = ResultStore(cache_dir=tmp_path / "sharded")
+        reports = [
+            run_plan_shard(plan, ShardSpec(index, 3), store=store)
+            for index in (1, 2, 3)
+        ]
+        assert sum(report.n_units for report in reports) == len(plan.units)
+        assert plan.missing(store) == ()
+
+        # cache-only resolution equals a genuinely unsharded recomputation
+        unsharded = run_robust_exploration(
+            "seeds", sigma_v=0.02, n_trials=4, use_cache=False, **SMALL_GRID
+        )
+        clear_memo()
+        reader = ResultStore(cache_dir=tmp_path / "sharded")
+        assembled = run_robust_exploration(
+            "seeds", sigma_v=0.02, n_trials=4, store=reader, cache_only=True,
+            **SMALL_GRID,
+        )
+        assert assembled.points == unsharded.points
+        assert assembled.baseline_accuracy == unsharded.baseline_accuracy
+        assert reader.stats.misses == 0
+
+    def test_rerun_reuses_everything(self, tmp_path):
+        from repro.analysis.experiments import run_plan_shard
+        from repro.core.sharding import plan_suite_units
+
+        plan = plan_suite_units(datasets=("vertebral_2c",), **SMALL_GRID)
+        store = ResultStore(cache_dir=tmp_path / "rerun")
+        first = run_plan_shard(plan, store=store)
+        assert first.reused == 0 and first.computed == len(plan.units)
+        again = run_plan_shard(plan, store=store)
+        assert again.reused == len(plan.units) and again.computed == 0
+
+
+class TestSuiteCommand:
+    def test_list_units_prints_plan_without_computing(self, capsys):
+        assert main(["suite", "--datasets", "vertebral_2c", "--list-units"]) == 0
+        out = capsys.readouterr().out
+        assert "suite:vertebral_2c[table1]" in out
+        assert "suite:vertebral_2c[table2]" in out
+
+    def test_shard_argument_rejected_at_parse_time(self):
+        for bad in ("0/3", "4/3", "x/y"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["suite", "--shard", bad])
+
+    def test_sharded_cli_assemble_matches_direct_commands(self, capsys, tmp_path):
+        cache = tmp_path / "store"
+        base = ["--datasets", "vertebral_2c", "--sigma", "0.02", "--trials", "4"]
+        for index in (1, 2):
+            assert main(
+                ["suite", *base, "--shard", f"{index}/2", "--cache-dir", str(cache)]
+            ) == 0
+        capsys.readouterr()
+
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["assemble", *base, "--cache-dir", str(cache),
+             "--output-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out and "0 recomputed" in out
+
+        # byte-identical to the direct commands rendering from the same store
+        assert main(
+            ["table1", "--datasets", "vertebral_2c", "--cache-dir", str(cache)]
+        ) == 0
+        assert (out_dir / "table1.txt").read_text() == capsys.readouterr().out
+        assert main(
+            ["table2", "--datasets", "vertebral_2c", "--cache-dir", str(cache)]
+        ) == 0
+        assert (out_dir / "table2.txt").read_text() == capsys.readouterr().out
+        assert main(
+            ["table2", "--datasets", "vertebral_2c", "--sigma", "0.02",
+             "--trials", "4", "--cache-dir", str(cache)]
+        ) == 0
+        assert (
+            out_dir / "table2_offset_aware.txt"
+        ).read_text() == capsys.readouterr().out
+
+    def test_assemble_fails_loudly_listing_missing_units(self, capsys, tmp_path):
+        from repro.core.sharding import plan_suite_units
+
+        cache = tmp_path / "holey"
+        assert main(
+            ["suite", "--datasets", "vertebral_2c", "--cache-dir", str(cache)]
+        ) == 0
+        plan = plan_suite_units(datasets=("vertebral_2c",))
+        dropped = plan.units[0]
+        ResultStore(cache_dir=cache).invalidate(dropped.store_key)
+        capsys.readouterr()
+
+        assert main(
+            ["assemble", "--datasets", "vertebral_2c", "--cache-dir", str(cache)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "missing 1 of 2 planned units" in captured.err
+        assert dropped.label in captured.err
+        assert dropped.store_key in captured.err
+
+    @pytest.mark.slow
+    def test_sharded_equals_unsharded_byte_identical(self, capsys, tmp_path):
+        """Acceptance: k/3 shards into one store + assemble render the exact
+        bytes an unsharded single-process (``--no-cache``) run prints."""
+        datasets = ["vertebral_2c", "seeds"]
+        cache = tmp_path / "sharded"
+        for index in (1, 2, 3):
+            assert main(
+                ["suite", "--datasets", *datasets, "--shard", f"{index}/3",
+                 "--cache-dir", str(cache)]
+            ) == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["assemble", "--datasets", *datasets, "--cache-dir", str(cache),
+             "--output-dir", str(out_dir)]
+        ) == 0
+        assert "0 misses" in capsys.readouterr().out
+
+        assert main(["table1", "--datasets", *datasets, "--no-cache"]) == 0
+        assert (out_dir / "table1.txt").read_text() == capsys.readouterr().out
+        assert main(["table2", "--datasets", *datasets, "--no-cache"]) == 0
+        assert (out_dir / "table2.txt").read_text() == capsys.readouterr().out
+
+
+class TestCacheStatsJson:
+    def test_json_flag_emits_machine_readable_counts(self, capsys, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "json-cache"
+        store = ResultStore(cache_dir=cache_dir)
+        store.put(store.make_key(n=1), "payload")
+        store.get(store.make_key(n=1))
+        store.get(store.make_key(n=2))  # miss
+        store.flush_stats()
+
+        assert main(["cache", "stats", "--json", "--cache-dir", str(cache_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"]["n_entries"] == 1
+        assert payload["lifetime"] == {"hits": 1, "misses": 1, "stores": 1}
+        assert payload["hit_rate"] == 0.5
+        assert payload["store"] == str(cache_dir)
+
+    def test_json_hit_rate_null_on_fresh_store(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            ["cache", "stats", "--json", "--cache-dir", str(tmp_path / "fresh")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hit_rate"] is None
+        assert payload["lifetime"] == {"hits": 0, "misses": 0, "stores": 0}
+
+
+class TestCacheExportImportCli:
+    def test_export_import_round_trip(self, capsys, tmp_path):
+        source_dir = tmp_path / "source"
+        source = ResultStore(cache_dir=source_dir)
+        for index in range(2):
+            source.put(source.make_key(n=index), index)
+        archive = tmp_path / "store.tar.gz"
+
+        assert main(
+            ["cache", "export", "--cache-dir", str(source_dir),
+             "--output", str(archive)]
+        ) == 0
+        assert "exported 2 entries" in capsys.readouterr().out
+
+        target_dir = tmp_path / "target"
+        assert main(
+            ["cache", "import", str(archive), "--cache-dir", str(target_dir)]
+        ) == 0
+        assert "2 new entries" in capsys.readouterr().out
+        target = ResultStore(cache_dir=target_dir)
+        assert len(target) == 2
+        # idempotent re-import
+        assert main(
+            ["cache", "import", str(archive), "--cache-dir", str(target_dir)]
+        ) == 0
+        assert "0 new entries" in capsys.readouterr().out
+
+    def test_import_rejects_garbage(self, capsys, tmp_path):
+        junk = tmp_path / "junk.tar.gz"
+        junk.write_text("nope")
+        assert main(
+            ["cache", "import", str(junk), "--cache-dir", str(tmp_path / "s")]
+        ) == 2
+        assert "not a result-store archive" in capsys.readouterr().err
+
+
+class TestAssembleArchiveErrors:
+    def test_missing_archive_diagnosed_not_traceback(self, capsys, tmp_path):
+        assert main(
+            ["assemble", "--datasets", "seeds",
+             "--cache-dir", str(tmp_path / "store"),
+             "--from-archive", str(tmp_path / "never-uploaded.tar.gz")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("assemble: ")
+        assert "never-uploaded.tar.gz" in err

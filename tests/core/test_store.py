@@ -402,3 +402,192 @@ class TestStoreConcurrencyEdges:
         assert store.get(key) is None     # evicted as corrupt
         store.put(key, "recomputed")      # writer replaces it
         assert store.get(key) == "recomputed"
+
+
+class TestMergeFrom:
+    def _store_pair(self, tmp_path):
+        return (
+            ResultStore(cache_dir=tmp_path / "target"),
+            ResultStore(cache_dir=tmp_path / "source"),
+        )
+
+    def test_union_with_content_address_dedup(self, tmp_path):
+        target, source = self._store_pair(tmp_path)
+        shared = make_key(n="shared")
+        target.put(shared, {"v": 1})
+        source.put(shared, {"v": 1})
+        only_source = make_key(n="source-only")
+        source.put(only_source, {"v": 2})
+
+        report = target.merge_from(source)
+        assert (report.merged, report.skipped) == (1, 1)
+        assert report.source_entries == 2
+        assert len(target) == 2
+        assert target.get(only_source) == {"v": 2}
+
+    def test_remerge_is_idempotent(self, tmp_path):
+        target, source = self._store_pair(tmp_path)
+        for index in range(3):
+            source.put(make_key(n=index), index)
+        first = target.merge_from(source)
+        assert (first.merged, first.skipped) == (3, 0)
+        second = target.merge_from(source)
+        assert (second.merged, second.skipped) == (0, 3)
+        assert len(target) == 3
+
+    def test_stats_aggregate_once_across_remerges(self, tmp_path):
+        target, source = self._store_pair(tmp_path)
+        key = make_key(n="s")
+        source.get(key)          # miss
+        source.put(key, "x")     # store
+        source.get(key)          # hit
+        source.flush_stats()
+        target.put(make_key(n="t"), "y")
+        target.flush_stats()
+
+        report = target.merge_from(source)
+        assert report.stats_merged
+        merged_once = target.lifetime_stats()
+        assert merged_once == {"hits": 1, "misses": 1, "stores": 2}
+        # idempotent: the source id replaces, never adds, its record
+        target.merge_from(source)
+        assert target.lifetime_stats() == merged_once
+        # and the aggregate survives reopening the target
+        assert ResultStore(cache_dir=target.cache_dir).lifetime_stats() == merged_once
+
+    def test_transitive_merge_flattens_sources(self, tmp_path):
+        """A -> B -> C carries A's counters into C exactly once."""
+        a = ResultStore(cache_dir=tmp_path / "a")
+        b = ResultStore(cache_dir=tmp_path / "b")
+        c = ResultStore(cache_dir=tmp_path / "c")
+        a.get(make_key(n="a"))   # miss
+        a.flush_stats()
+        b.merge_from(a)
+        c.merge_from(b)
+        assert c.lifetime_stats()["misses"] == 1
+        c.merge_from(b)          # re-merge of the aggregate: still once
+        assert c.lifetime_stats()["misses"] == 1
+
+    def test_source_without_stats_merges_entries_only(self, tmp_path):
+        target, source = self._store_pair(tmp_path)
+        source.put(make_key(n=1), "x")
+        # put() alone never flushes; wipe the side file to simulate a source
+        # that recorded nothing
+        stats_path = source.cache_dir / "_stats.json"
+        if stats_path.exists():
+            stats_path.unlink()
+        report = target.merge_from(source)
+        assert report.merged == 1
+        assert not report.stats_merged
+
+    def test_merging_into_itself_is_rejected(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path / "self")
+        with pytest.raises(ValueError, match="itself"):
+            store.merge_from(ResultStore(cache_dir=tmp_path / "self"))
+
+    def test_merge_from_missing_source_directory_is_a_noop(self, tmp_path):
+        target = ResultStore(cache_dir=tmp_path / "target")
+        report = target.merge_from(ResultStore(cache_dir=tmp_path / "never"))
+        assert (report.merged, report.skipped) == (0, 0)
+        assert not report.stats_merged
+
+
+class TestArchives:
+    def test_export_import_round_trip(self, tmp_path):
+        source = ResultStore(cache_dir=tmp_path / "source")
+        payloads = {make_key(n=index): [index] * 3 for index in range(3)}
+        for key, value in payloads.items():
+            source.put(key, value)
+        source.get(next(iter(payloads)))  # one hit for the stats trip
+        archive = source.export_archive(tmp_path / "store.tar.gz")
+        assert archive.is_file()
+
+        target = ResultStore(cache_dir=tmp_path / "target")
+        report = target.import_archive(archive)
+        assert (report.merged, report.skipped) == (3, 0)
+        for key, value in payloads.items():
+            assert target.get(key) == value
+        # the source's flushed accounting travelled with the archive
+        lifetime = target.lifetime_stats()
+        assert lifetime["stores"] >= 3
+        assert lifetime["hits"] >= 1
+
+    def test_reimport_is_idempotent(self, tmp_path):
+        source = ResultStore(cache_dir=tmp_path / "source")
+        source.put(make_key(n=1), "x")
+        archive = source.export_archive(tmp_path / "store.tar.gz")
+        target = ResultStore(cache_dir=tmp_path / "target")
+        target.import_archive(archive)
+        lifetime = target.lifetime_stats()
+        report = target.import_archive(archive)
+        assert (report.merged, report.skipped) == (0, 1)
+        assert target.lifetime_stats() == lifetime
+
+    def test_import_rejects_garbage_files(self, tmp_path):
+        junk = tmp_path / "junk.tar.gz"
+        junk.write_bytes(b"definitely not a tarball")
+        store = ResultStore(cache_dir=tmp_path / "store")
+        with pytest.raises(ValueError, match="not a result-store archive"):
+            store.import_archive(junk)
+
+    def test_import_rejects_archives_without_manifest(self, tmp_path):
+        import io
+        import tarfile
+
+        path = tmp_path / "no-manifest.tar.gz"
+        with tarfile.open(path, "w:gz") as tar:
+            info = tarfile.TarInfo(name="a" * 64 + ".pkl")
+            data = pickle.dumps("x")
+            info.size = len(data)
+            tar.addfile(info, io.BytesIO(data))
+        store = ResultStore(cache_dir=tmp_path / "store")
+        with pytest.raises(ValueError, match="manifest"):
+            store.import_archive(path)
+
+    def test_import_rejects_schema_mismatch(self, tmp_path):
+        import io
+        import tarfile
+
+        path = tmp_path / "future.tar.gz"
+        manifest = json.dumps(
+            {"format": "repro-result-store", "schema": 999, "n_entries": 0}
+        ).encode()
+        with tarfile.open(path, "w:gz") as tar:
+            info = tarfile.TarInfo(name="manifest.json")
+            info.size = len(manifest)
+            tar.addfile(info, io.BytesIO(manifest))
+        store = ResultStore(cache_dir=tmp_path / "store")
+        with pytest.raises(ValueError, match="schema"):
+            store.import_archive(path)
+
+    def test_import_ignores_traversal_and_foreign_members(self, tmp_path):
+        """Only flat ``<sha256>.pkl`` members are staged: a crafted archive
+        cannot plant files outside the store or under other names."""
+        import io
+        import tarfile
+        from repro.core.store import STORE_SCHEMA_VERSION
+
+        good_key = make_key(n="good")
+        path = tmp_path / "crafted.tar.gz"
+        members = {
+            "manifest.json": json.dumps(
+                {"format": "repro-result-store",
+                 "schema": STORE_SCHEMA_VERSION, "n_entries": 1}
+            ).encode(),
+            f"{good_key}.pkl": pickle.dumps("good"),
+            "../escape.pkl": pickle.dumps("evil"),
+            "not-a-key.pkl": pickle.dumps("evil"),
+            "nested/" + "b" * 64 + ".pkl": pickle.dumps("evil"),
+        }
+        with tarfile.open(path, "w:gz") as tar:
+            for name, data in members.items():
+                info = tarfile.TarInfo(name=name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+
+        store = ResultStore(cache_dir=tmp_path / "store")
+        report = store.import_archive(path)
+        assert report.merged == 1
+        assert store.get(good_key) == "good"
+        assert len(store) == 1
+        assert not (tmp_path / "escape.pkl").exists()
