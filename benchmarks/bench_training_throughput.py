@@ -115,10 +115,25 @@ def _render(rows) -> str:
     )
 
 
-def test_training_throughput(benchmark, bench_seed, write_report):
+def _bench_rows(rows) -> list[dict]:
+    """Rows of ``BENCH_training.json`` (schema: benchmarks/conftest.py)."""
+    return [
+        {
+            "name": "full_grid_fits" if r["dataset"] != "TOTAL" else "full_grid_total",
+            "dataset": r["dataset"],
+            "samples_per_sec": r["columnar_rate"],
+            "unit": "fits/s",
+            "speedup": r["speedup"],
+        }
+        for r in rows
+    ]
+
+
+def test_training_throughput(benchmark, bench_seed, write_report, write_bench_json):
     """Depth-8 full-grid training is >= 5x faster than the legacy loop."""
     rows = benchmark.pedantic(lambda: _measure(bench_seed), rounds=1, iterations=1)
     write_report("training_throughput", _render(rows))
+    write_bench_json("training", _bench_rows(rows))
     total = rows[-1]
     assert total["speedup"] >= MIN_SPEEDUP, (
         f"full-grid training: only {total['speedup']:.1f}x over the legacy "

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Gate the perf trajectory: fail when a benchmark speedup regresses.
+
+Nightly CI runs the throughput benchmarks, which emit machine-readable
+``benchmarks/results/BENCH_<name>.json`` files (schema: the
+``write_bench_json`` fixture in ``benchmarks/conftest.py``).  This script
+compares every ``speedup`` field against the committed floor in
+``benchmarks/baselines.json`` and exits non-zero when any measured speedup
+drops more than ``max_drop`` (default 25 %) below its baseline.
+
+Speedups -- not absolute rates -- are gated: both sides of each speedup are
+measured in the same process on the same host, so the ratio is stable across
+runner generations while samples/sec is not.  Absolute rates still land in
+the BENCH artifacts for trajectory plots; they are informational.
+
+Ratchet policy
+--------------
+Baselines only move *up*, and only by a deliberate commit:
+
+* When an optimization lands, raise the affected baselines toward the new
+  steady-state (leave ~20 % headroom below the median of several CI runs --
+  never ratchet to a lucky best case).
+* Never lower a baseline to silence a failing check.  A red check means the
+  change being tested slowed a measured path; fix the regression or, if the
+  slowdown is a deliberate trade-off, lower the baseline in the same commit
+  with a justification in the commit message.
+* New benchmark rows start with a conservative floor (the assertion minimum
+  of the benchmark itself, or ~70-80 % of locally measured medians).
+
+Usage::
+
+    python benchmarks/check_regression.py [--results benchmarks/results]
+        [--baselines benchmarks/baselines.json] [--max-drop 0.25]
+
+Rows present in the results but absent from the baselines are reported as
+unguarded (not an error: new rows ratchet in via a follow-up commit).
+Baseline entries with no matching measurement fail the check -- a renamed or
+deleted benchmark must update the baseline file in the same change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_BASELINES = Path(__file__).parent / "baselines.json"
+
+
+def _row_key(bench: str, row: dict) -> str:
+    """Stable identity of a measured row: ``bench/name[dataset]``."""
+    return f"{bench}/{row['name']}[{row['dataset']}]"
+
+
+def load_measurements(results_dir: Path) -> dict[str, dict]:
+    """All measured rows of every ``BENCH_*.json`` in ``results_dir``."""
+    measurements: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for row in payload["rows"]:
+            measurements[_row_key(payload["bench"], row)] = row
+    return measurements
+
+
+def check(
+    results_dir: Path, baselines_path: Path, max_drop: float | None = None
+) -> int:
+    """Compare measurements against baselines; return a process exit code."""
+    baselines = json.loads(baselines_path.read_text())
+    if max_drop is None:
+        max_drop = float(baselines.get("max_drop", 0.25))
+    measurements = load_measurements(results_dir)
+    if not measurements:
+        print(f"error: no BENCH_*.json files under {results_dir}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    guarded: set[str] = set()
+    for key, floor in baselines["speedups"].items():
+        guarded.add(key)
+        row = measurements.get(key)
+        if row is None:
+            failures.append(
+                f"{key}: baseline has no measurement -- a renamed or removed "
+                f"benchmark must update baselines.json in the same change"
+            )
+            continue
+        measured = float(row["speedup"])
+        minimum = floor * (1.0 - max_drop)
+        status = "ok" if measured >= minimum else "FAIL"
+        print(
+            f"{status:4s} {key}: speedup {measured:.2f}x "
+            f"(baseline {floor:.2f}x, floor {minimum:.2f}x)"
+        )
+        if measured < minimum:
+            failures.append(
+                f"{key}: speedup {measured:.2f}x dropped more than "
+                f"{max_drop:.0%} below the {floor:.2f}x baseline"
+            )
+
+    for key in sorted(set(measurements) - guarded):
+        print(f"note {key}: measured but not in baselines.json (unguarded)")
+
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf regression check passed ({len(guarded)} guarded rows)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="directory holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=DEFAULT_BASELINES,
+        help="committed baseline file",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=None,
+        help="allowed fractional drop below baseline (default: from baselines.json)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.results, args.baselines, args.max_drop)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

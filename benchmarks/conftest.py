@@ -23,7 +23,10 @@ Environment knobs
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -31,6 +34,28 @@ import pytest
 from repro.analysis.experiments import run_benchmark_suite
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema version of the ``BENCH_<name>.json`` perf-trajectory files.  Bump
+#: only when a field is renamed or removed; adding fields is backwards
+#: compatible (``benchmarks/check_regression.py`` reads by key).
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    """Commit being measured: CI's GITHUB_SHA, else the local HEAD."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 def _fast_mode() -> bool:
@@ -78,6 +103,40 @@ def suite_results_with_approx():
         jobs=_jobs(),
         cache_dir=_cache_dir(),
     )
+
+
+@pytest.fixture(scope="session")
+def write_bench_json():
+    """Write a machine-readable ``BENCH_<name>.json`` perf-trajectory file.
+
+    Each row is one measured workload::
+
+        {"name": ..., "dataset": ..., "samples_per_sec": ..., "unit": ...,
+         "speedup": ...}
+
+    ``samples_per_sec`` is the absolute throughput of the fast path (in
+    ``unit``; trials/s for Monte-Carlo rows), ``speedup`` its ratio over the
+    reference path measured in the same process.  The envelope stamps the
+    schema version, the git sha and the UTC date so nightly CI artifacts form
+    a comparable trajectory; ``benchmarks/check_regression.py`` gates the
+    ``speedup`` fields against ``benchmarks/baselines.json``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, rows: list[dict]) -> Path:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        payload = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": name,
+            "git_sha": _git_sha(),
+            "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "rows": rows,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n=== BENCH_{name}.json ===\n{json.dumps(payload, indent=2, sort_keys=True)}")
+        return path
+
+    return _write
 
 
 @pytest.fixture(scope="session")

@@ -113,6 +113,81 @@ def binary_to_level(bits: Sequence[int]) -> int:
     return level
 
 
+#: Machine-word width of the packed digit representation (bits per word).
+WORD_BITS = 64
+
+
+def pack_digit_matrix(digits: np.ndarray) -> np.ndarray:
+    """Pack a boolean digit matrix column-wise into ``uint64`` words.
+
+    ``digits`` is the ``(n_samples, n_digits)`` comparator-output matrix the
+    batch prediction path consumes (one column per retained unary digit, in
+    :attr:`~repro.core.unary_tree.UnaryDecisionTree.comparators` order).  The
+    result has shape ``(n_digits, ceil(n_samples / 64))``: sample ``s`` of
+    digit column ``c`` lives in bit ``s % 64`` (little-endian, LSB first) of
+    word ``packed[c, s // 64]``, so 64 samples advance through a bitwise op
+    per machine word.  Padding bits of the final word are zero; consumers
+    that complement words (negated literals) must mask them back out with
+    :func:`packed_tail_mask`.
+
+    An empty batch packs into zero words per digit.
+    """
+    digits = np.asarray(digits)
+    if digits.ndim != 2:
+        raise ValueError("expected a 2-D (n_samples, n_digits) digit matrix")
+    if digits.dtype != bool:
+        digits = digits.astype(bool)
+    n_samples, n_digits = digits.shape
+    n_words = -(-n_samples // WORD_BITS)  # ceil division
+    word_bytes = WORD_BITS // 8
+    columns = digits.T
+    if not columns.flags.c_contiguous:
+        # packbits over a strided view is an order of magnitude slower than
+        # one explicit transpose copy (and can return rows we could not
+        # reinterpret as words in place), so normalize the layout first.
+        # The hot path -- digit matrices built by broadcast comparison,
+        # which numpy lays out Fortran-style -- transposes to a contiguous
+        # view and skips the copy entirely.
+        columns = np.ascontiguousarray(columns)
+    # packbits pads each row to whole bytes with zeros; pad on up to a whole
+    # word so the uint8 buffer reinterprets as little-endian uint64 words.
+    packed8 = np.packbits(columns, axis=1, bitorder="little")
+    if packed8.shape[1] != n_words * word_bytes:
+        padded = np.zeros((n_digits, n_words * word_bytes), dtype=np.uint8)
+        padded[:, : packed8.shape[1]] = packed8
+        packed8 = padded
+    elif not packed8.flags.c_contiguous:  # pragma: no cover - defensive
+        packed8 = np.ascontiguousarray(packed8)
+    return packed8.view(np.uint64)
+
+
+def unpack_digit_matrix(packed: np.ndarray, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_digit_matrix` (drops the padding bits)."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise ValueError("expected a 2-D (n_digits, n_words) packed matrix")
+    if n_samples > packed.shape[1] * WORD_BITS:
+        raise ValueError(
+            f"{n_samples} samples do not fit in {packed.shape[1]} packed words"
+        )
+    bits = np.unpackbits(packed.view(np.uint8), axis=1, bitorder="little")
+    return bits[:, :n_samples].T.astype(bool)
+
+
+def packed_tail_mask(n_samples: int) -> np.uint64:
+    """Valid-lane mask of the *last* packed word of an ``n_samples`` batch.
+
+    All-ones when the batch fills its final word exactly; otherwise only the
+    low ``n_samples % 64`` bits are set.  ANDing complemented words with this
+    mask keeps the zero padding of :func:`pack_digit_matrix` from surfacing
+    as phantom samples.
+    """
+    remainder = n_samples % WORD_BITS
+    if remainder == 0:
+        return np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+    return np.uint64((1 << remainder) - 1)
+
+
 def threshold_to_digit(threshold: float, resolution_bits: int) -> int:
     """Map a normalized threshold to the unary digit implementing ``x >= threshold``.
 

@@ -146,6 +146,7 @@ def _run_one_benchmark(
     jobs: int = 1,
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
+    engine: str = "batch",
 ) -> CoDesignResult:
     """Top-level (picklable) job: run the co-design flow on one benchmark."""
     with get_executor(jobs) as executor:
@@ -157,6 +158,7 @@ def _run_one_benchmark(
             executor=executor if executor.jobs > 1 else None,
             training_sigma=training_sigma,
             robustness_weight=robustness_weight,
+            engine=engine,
         )
         dataset = load_dataset(name, seed=seed)
         return framework.run(dataset)
@@ -177,6 +179,7 @@ def run_benchmark_suite(
     robustness_weight: float = 1.0,
     shard: ShardSpec | None = None,
     cache_only: bool = False,
+    engine: str = "batch",
 ) -> list[CoDesignResult]:
     """Run the co-design flow over the benchmark suite (cached per dataset).
 
@@ -231,6 +234,11 @@ def run_benchmark_suite(
         missing datasets and keys) when any entry is absent.  The
         in-process memo is bypassed, so the store genuinely holds
         everything the call returns.
+    engine:
+        Inference engine scoring the exploration's test sets (``"batch"``
+        or ``"bitparallel"``; see :mod:`repro.core.bitkernel`).  Engines are
+        bit-identical, so -- like ``jobs`` -- this never participates in
+        cache keys and cached results are shared across engines.
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
@@ -300,7 +308,7 @@ def run_benchmark_suite(
                     (
                         name, seed, include_approximate_baseline,
                         tuple(depths), tuple(taus), 1,
-                        training_sigma, robustness_weight,
+                        training_sigma, robustness_weight, engine,
                     )
                     for name in pending
                 ]
@@ -317,6 +325,7 @@ def run_benchmark_suite(
                         jobs=executor.jobs,
                         training_sigma=training_sigma,
                         robustness_weight=robustness_weight,
+                        engine=engine,
                     )
                     for name in pending
                 ]
@@ -453,6 +462,7 @@ def run_robust_exploration(
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
     cache_only: bool = False,
+    engine: str = "batch",
 ) -> RobustExploration:
     """Variation-aware design-space exploration of one benchmark.
 
@@ -487,6 +497,7 @@ def run_robust_exploration(
         training_sigma=training_sigma,
         robustness_weight=robustness_weight,
         cache_only=cache_only,
+        engine=engine,
     )
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()

@@ -144,6 +144,7 @@ from repro.analysis.tables import (
 from repro.core.sharding import MissingResultsError, ShardSpec, plan_suite_units
 from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.mltrees.evaluation import ENGINES
 
 
 def _jobs_argument(value: str) -> int:
@@ -220,6 +221,17 @@ def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the result store and recompute everything",
     )
+    _add_engine_argument(parser)
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batch",
+        help="inference engine scoring the exploration's test sets "
+        "(bit-identical; 'bitparallel' = packed-uint64 cube kernel)",
+    )
 
 
 def _suite(args: argparse.Namespace, include_approximate: bool):
@@ -232,6 +244,7 @@ def _suite(args: argparse.Namespace, include_approximate: bool):
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        engine=args.engine,
     )
 
 
@@ -388,6 +401,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             training_sigma=args.training_sigma,
+            engine=args.engine,
         )
     explorations = [
         run_robust_exploration(
@@ -399,6 +413,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             training_sigma=args.training_sigma,
+            engine=args.engine,
         )
         for name in names
     ]
@@ -624,6 +639,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         training_sigma=args.training_sigma,
+        engine=args.engine,
     )
     rows = exploration_rows(exploration.points)
     print(
@@ -942,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the robustness-annotated grid to this JSON file",
     )
+    _add_engine_argument(explore)
     explore.set_defaults(handler=_cmd_explore)
 
     variation = subparsers.add_parser(

@@ -38,7 +38,7 @@ from repro.core.metrics import ClassifierDesign, ReductionReport, compare_design
 from repro.core.power_budget import SelfPowerAnalysis, analyze_self_power
 from repro.datasets.base import Dataset
 from repro.mltrees.cart import fit_baseline_tree
-from repro.mltrees.evaluation import train_test_split
+from repro.mltrees.evaluation import resolve_engine, train_test_split
 from repro.mltrees.quantize import quantize_dataset
 from repro.pdk.egfet import EGFETTechnology, default_technology
 
@@ -111,6 +111,7 @@ class CoDesignFramework:
         executor: Executor | None = None,
         training_sigma: float = 0.0,
         robustness_weight: float = 1.0,
+        engine: str = "batch",
     ):
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
@@ -135,6 +136,11 @@ class CoDesignFramework:
         #: Execution backend for the depth x tau sweep (None: serial).  Not
         #: part of the experiment configuration: it never changes results.
         self.executor = executor
+        #: Inference engine for the sweep's test-set scoring ("batch" or
+        #: "bitparallel").  Like the executor, pure execution tuning:
+        #: engines are bit-identical, so results and cache keys never
+        #: depend on it.
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------ #
     # data preparation
@@ -212,6 +218,7 @@ class CoDesignFramework:
             seed=self.seed,
             training_sigma=self.training_sigma,
             robustness_weight=self.robustness_weight,
+            engine=self.engine,
         )
         return explorer.explore(
             X_train_levels,

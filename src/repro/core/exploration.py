@@ -34,7 +34,7 @@ from repro.core.variation import (
     simulate_offset_variation,
     variation_result_key,
 )
-from repro.mltrees.evaluation import accuracy_score
+from repro.mltrees.evaluation import evaluate_tree_accuracy, resolve_engine
 from repro.mltrees.tree import DecisionTree
 from repro.pdk.egfet import EGFETTechnology, default_technology
 
@@ -101,6 +101,20 @@ class DesignPoint:
         """Copy of this point carrying a Monte-Carlo robustness summary."""
         return replace(self, robustness=analysis)
 
+    @property
+    def kernel(self):
+        """The point's compiled bit-parallel inference kernel.
+
+        Compiled on first access and cached on the underlying tree (see
+        :func:`repro.core.bitkernel.compile_tree_kernel`), so every copy of
+        this point -- including the robustness-annotated ones, which share
+        the tree instance -- reuses one compilation.  This is the kernel a
+        serving layer evaluates promoted designs with.
+        """
+        from repro.core.bitkernel import compile_tree_kernel
+
+        return compile_tree_kernel(self.tree)
+
 
 def proposed_hardware_report(
     tree: DecisionTree,
@@ -150,6 +164,12 @@ class DesignSpaceExplorer:
     robustness_weight:
         Weight of the expected-flip penalty in the trainer's split score
         (ignored while ``training_sigma`` is 0; default 1.0).
+    engine:
+        Inference engine used to score the test set at every grid point:
+        ``"batch"`` (default) or ``"bitparallel"`` (packed-uint64 cube
+        kernel, see :mod:`repro.core.bitkernel`).  Engines are bit-identical,
+        so this is pure execution tuning -- it is *not* part of the
+        experiment configuration or any cache key.
     """
 
     def __init__(
@@ -161,6 +181,7 @@ class DesignSpaceExplorer:
         seed: int = 0,
         training_sigma: float = 0.0,
         robustness_weight: float = 1.0,
+        engine: str = "batch",
     ):
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
@@ -173,6 +194,7 @@ class DesignSpaceExplorer:
             raise ValueError("robustness_weight must be >= 0")
         self.training_sigma = training_sigma
         self.robustness_weight = robustness_weight
+        self.engine = resolve_engine(engine)
         if not self.depths or not self.taus:
             raise ValueError("the exploration grid must not be empty")
 
@@ -201,7 +223,9 @@ class DesignSpaceExplorer:
             ),
         )
         tree = trainer.fit(X_train_levels, y_train, n_classes)
-        accuracy = accuracy_score(y_test, tree.predict_levels(X_test_levels))
+        accuracy = evaluate_tree_accuracy(
+            tree, X_test_levels, y_test, engine=self.engine
+        )
         hardware = proposed_hardware_report(
             tree, self.technology, name=f"codesign[d={depth},tau={tau:g}]"
         )

@@ -2,12 +2,55 @@
 
 The paper's protocol is a random 70 %/30 % train/test split on inputs
 normalized to ``[0, 1]``; this module provides the (seeded, stratified)
-splitting and the metrics used throughout the evaluation.
+splitting and the metrics used throughout the evaluation, plus the
+``engine`` dispatch that lets every evaluation call opt into the
+bit-parallel packed-uint64 kernel (:mod:`repro.core.bitkernel`) instead of
+the default ndarray batch path.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: Prediction engines accepted by :func:`predict_levels_with_engine`:
+#: ``"batch"`` walks the tree with vectorized index masks (the default);
+#: ``"bitparallel"`` evaluates the tree's two-level cube logic as packed
+#: uint64 bitwise ops, 64 samples per machine word.  The two are
+#: bit-identical -- the engine is an execution detail, never part of an
+#: experiment configuration or cache key.
+ENGINES: tuple[str, ...] = ("batch", "bitparallel")
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name, returning it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def predict_levels_with_engine(tree, X_levels: np.ndarray, engine: str = "batch") -> np.ndarray:
+    """Predict quantized samples through the selected inference engine.
+
+    ``tree`` is a trained :class:`~repro.mltrees.tree.DecisionTree`.  With
+    ``engine="bitparallel"`` the tree is compiled (once, cached on the tree
+    instance) into per-class packed-word cube masks and evaluated 64 samples
+    per uint64 word; predictions are bit-identical to ``tree.predict_levels``
+    either way, so switching engines never changes results.
+    """
+    resolve_engine(engine)
+    if engine == "bitparallel":
+        # Local import: the kernel lives in core (which imports mltrees).
+        from repro.core.bitkernel import compile_tree_kernel
+
+        return compile_tree_kernel(tree).predict_levels(X_levels)
+    return tree.predict_levels(X_levels)
+
+
+def evaluate_tree_accuracy(
+    tree, X_levels: np.ndarray, y: np.ndarray, engine: str = "batch"
+) -> float:
+    """Test accuracy of a trained tree through the selected engine."""
+    return accuracy_score(y, predict_levels_with_engine(tree, X_levels, engine=engine))
 
 
 def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
