@@ -834,6 +834,169 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry(args: argparse.Namespace):
+    from repro.serve.registry import ModelRegistry
+
+    return ModelRegistry(args.registry_dir)
+
+
+def _cmd_registry_promote(args: argparse.Namespace) -> int:
+    from repro.serve.registry import promote_design
+
+    artifact = promote_design(
+        _registry(args),
+        args.dataset,
+        args.depth,
+        args.tau,
+        name=args.name,
+        seed=args.seed,
+        training_sigma=args.training_sigma,
+        robustness_weight=args.robustness_weight,
+        cache_dir=args.cache_dir,
+    )
+    meta = artifact.kernel_meta
+    print(
+        f"promoted {artifact.name}/v{artifact.version} "
+        f"(digest {artifact.digest[:12]}): {artifact.dataset} depth "
+        f"{artifact.depth} tau {artifact.tau:g}, accuracy "
+        f"{artifact.accuracy:.4f}, kernel {meta['n_cubes']} cubes / "
+        f"{meta['n_literals']} literals over {meta['n_digits']} digits"
+    )
+    return 0
+
+
+def _cmd_registry_list(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    entries = [registry.manifest(name) for name in registry.list_models()]
+    if args.json:
+        print(json.dumps(entries, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"no models in {registry.registry_dir}")
+        return 0
+    for manifest in entries:
+        print(
+            f"{manifest['name']}/v{manifest['version']}  "
+            f"{manifest['dataset']}  depth {manifest['depth']} "
+            f"tau {manifest['tau']:g}  accuracy {manifest['accuracy']:.4f}  "
+            f"digest {manifest['digest'][:12]}"
+        )
+    return 0
+
+
+def _cmd_registry_show(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    try:
+        if args.datasheet:
+            print(registry.load(args.name, args.version).datasheet)
+        else:
+            print(
+                json.dumps(
+                    registry.manifest(args.name, args.version),
+                    sort_keys=True,
+                    indent=2,
+                )
+            )
+    except KeyError as exc:
+        print(f"registry show: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _snapshot_dir(root: Path) -> tuple:
+    """Immutable (path, size, mtime_ns) listing of every file under ``root``."""
+    if not root.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            (str(path.relative_to(root)), stat.st_size, stat.st_mtime_ns)
+            for path in root.rglob("*")
+            if path.is_file()
+            for stat in (path.stat(),)
+        )
+    )
+
+
+def _cmd_serve_smoke(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.core.store import default_cache_dir
+    from repro.serve.batching import BatchingConfig
+    from repro.serve.loadgen import run_open_loop
+    from repro.serve.registry import ModelRegistry, promote_design
+    from repro.serve.scorer import AsyncScorer
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    with tempfile.TemporaryDirectory() as scratch:
+        registry = ModelRegistry(args.registry_dir if args.registry_dir else scratch)
+        # Snapshot before the promote: its cache lookup is the serving stack's
+        # only contact with the store and must be read-only too.
+        before = _snapshot_dir(cache_dir)
+        artifact = promote_design(
+            registry,
+            args.dataset,
+            args.depth,
+            args.tau,
+            seed=args.seed,
+            cache_dir=cache_dir,
+        )
+        data = load_dataset(args.dataset, seed=args.seed)
+
+        async def drive():
+            async with AsyncScorer(
+                artifact,
+                engine=args.engine,
+                config=BatchingConfig(
+                    max_batch_size=args.max_batch_size,
+                    max_wait_us=args.max_wait_us,
+                ),
+            ) as scorer:
+                return await run_open_loop(
+                    scorer, data.X, args.rate, duration_s=args.duration
+                )
+
+        report = asyncio.run(drive())
+        after = _snapshot_dir(cache_dir)
+
+    print(f"serving {artifact.name}/v{artifact.version} [{args.engine}]:")
+    print(report.summary())
+    failures = []
+    if report.p99_ms > args.p99_slo_ms:
+        failures.append(
+            f"p99 {report.p99_ms:.3f}ms exceeds the {args.p99_slo_ms:g}ms SLO"
+        )
+    if report.n_errors:
+        failures.append(f"{report.n_errors} requests errored")
+    if before != after:
+        failures.append(
+            f"cache dir {cache_dir} was written during serving "
+            f"({len(before)} files before, {len(after)} after)"
+        )
+    if args.json:
+        payload = report.to_dict()
+        payload.update(
+            {
+                "model": f"{artifact.name}/v{artifact.version}",
+                "dataset": artifact.dataset,
+                "engine": args.engine,
+                "p99_slo_ms": args.p99_slo_ms,
+                "cache_writes_during_serving": int(before != after),
+                "slo_failures": failures,
+            }
+        )
+        Path(args.json).write_text(json.dumps(payload, sort_keys=True, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"serve smoke: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"SLO ok: p99 {report.p99_ms:.3f}ms <= {args.p99_slo_ms:g}ms, "
+        "0 cache writes during serving"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1151,6 +1314,131 @@ def build_parser() -> argparse.ArgumentParser:
                 help="archives produced by 'cache export' to merge in",
             )
         sub.set_defaults(handler=cache_handler)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="promote, list and inspect named versioned model artifacts",
+    )
+    registry_sub = registry.add_subparsers(dest="registry_command", required=True)
+    promote = registry_sub.add_parser(
+        "promote",
+        help="promote one trained (dataset, depth, tau) design to an artifact",
+    )
+    promote.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to use"
+    )
+    promote.add_argument("--depth", type=int, required=True, help="tree depth")
+    promote.add_argument("--tau", type=float, default=0.0, help="Gini tolerance")
+    promote.add_argument(
+        "--name",
+        default=None,
+        help="registry name of the artifact (default: <dataset>-d<depth>)",
+    )
+    promote.add_argument("--seed", type=int, default=0, help="global seed")
+    promote.add_argument(
+        "--training-sigma",
+        type=_sigma_argument,
+        default=0.0,
+        help="offset-aware training sigma in volts (0 = nominal training)",
+    )
+    promote.add_argument(
+        "--robustness-weight",
+        type=float,
+        default=1.0,
+        help="weight of the expected-flip penalty during training",
+    )
+    promote.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store consulted (read-only) before retraining "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    promote.set_defaults(handler=_cmd_registry_promote)
+    registry_list = registry_sub.add_parser(
+        "list", help="list promoted models (latest version each)"
+    )
+    registry_list.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    registry_list.set_defaults(handler=_cmd_registry_list)
+    registry_show = registry_sub.add_parser(
+        "show", help="print one model's manifest (or its datasheet)"
+    )
+    registry_show.add_argument("name", help="registry name of the model")
+    registry_show.add_argument(
+        "--version", type=int, default=None, help="version to show (default: latest)"
+    )
+    registry_show.add_argument(
+        "--datasheet",
+        action="store_true",
+        help="print the artifact's rendered hardware datasheet instead",
+    )
+    registry_show.set_defaults(handler=_cmd_registry_show)
+    for registry_cmd in (promote, registry_list, registry_show):
+        registry_cmd.add_argument(
+            "--registry-dir",
+            default=None,
+            help="model registry directory "
+            "(default: $REPRO_REGISTRY_DIR or ~/.cache/repro/registry)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve", help="serving-layer utilities (load-gen SLO smoke)"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    smoke = serve_sub.add_parser(
+        "smoke",
+        help="promote a model, drive it open-loop, assert the p99 SLO and "
+        "that serving wrote zero bytes to the result store",
+    )
+    smoke.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to serve"
+    )
+    smoke.add_argument("--depth", type=int, default=8, help="tree depth")
+    smoke.add_argument("--tau", type=float, default=0.0, help="Gini tolerance")
+    smoke.add_argument("--seed", type=int, default=0, help="global seed")
+    smoke.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="bitparallel",
+        help="inference engine serving the flushes",
+    )
+    smoke.add_argument(
+        "--rate", type=float, default=500.0, help="open-loop request rate (req/s)"
+    )
+    smoke.add_argument(
+        "--duration", type=float, default=5.0, help="run length in seconds"
+    )
+    smoke.add_argument(
+        "--p99-slo-ms",
+        type=float,
+        default=50.0,
+        help="p99 latency SLO asserted on the run (milliseconds)",
+    )
+    smoke.add_argument(
+        "--max-batch-size", type=int, default=256, help="micro-batch flush size"
+    )
+    smoke.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=200.0,
+        help="micro-batch accumulation window (microseconds)",
+    )
+    smoke.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store the promote may read (watched for writes; "
+        "default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    smoke.add_argument(
+        "--registry-dir",
+        default=None,
+        help="model registry directory (default: a throwaway temp dir)",
+    )
+    smoke.add_argument(
+        "--json", default=None, help="write the machine-readable report here"
+    )
+    smoke.set_defaults(handler=_cmd_serve_smoke)
 
     datasheet = subparsers.add_parser(
         "datasheet",

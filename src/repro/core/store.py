@@ -89,6 +89,19 @@ def _canonical(value):
     return repr(value)
 
 
+def content_digest(**fields) -> str:
+    """SHA-256 of the canonical JSON form of ``fields`` -- no version mixing.
+
+    This is the raw content address: two equal configurations digest
+    identically across processes *and across code versions*.  The model
+    registry (:mod:`repro.serve.registry`) keys artifacts on it, so a
+    promoted model keeps its identity over package upgrades.  Cache keys,
+    which must *not* survive upgrades, go through :func:`make_key` instead.
+    """
+    rendered = json.dumps(_canonical(fields), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
 def make_key(**key_fields) -> str:
     """Content-address a configuration: SHA-256 of its canonical JSON form.
 
@@ -97,8 +110,7 @@ def make_key(**key_fields) -> str:
     never alias results of the current code.
     """
     key_fields.setdefault("code_version", code_version())
-    rendered = json.dumps(_canonical(key_fields), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+    return content_digest(**key_fields)
 
 
 @dataclass
@@ -176,6 +188,12 @@ class ResultStore:
         :func:`default_cache_dir`, so separate processes of the same user
         share one store out of the box; CI jobs point it at a workspace
         directory via ``--cache-dir`` / ``$REPRO_CACHE_DIR``.
+    touch_on_get:
+        When True (default), :meth:`get` refreshes the entry's mtime on every
+        hit so LRU eviction tracks last *access*.  Pass False for a fast-read
+        store that must never write to the cache directory -- the serving hot
+        path (:mod:`repro.serve`) uses this so a scorer leaves zero write
+        traffic (and zero mtime churn) on a shared cache while serving.
 
     Examples
     --------
@@ -190,12 +208,15 @@ class ResultStore:
     (1, 1)
     """
 
-    def __init__(self, cache_dir: str | Path | None = None):
+    def __init__(
+        self, cache_dir: str | Path | None = None, *, touch_on_get: bool = True
+    ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         if self.cache_dir.exists() and not self.cache_dir.is_dir():
             raise ValueError(
                 f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
             )
+        self.touch_on_get = touch_on_get
         self.stats = StoreStats()
         #: Snapshot of the counters at the last :meth:`flush_stats`, so the
         #: flush only adds the delta accumulated since.
@@ -234,12 +255,13 @@ class ResultStore:
             self.stats.misses += 1
             return default
         self.stats.hits += 1
-        try:
-            # Mark recency so LRU eviction (prune_to_size) and age pruning
-            # keep entries that are still being *read*, not just written.
-            os.utime(path)
-        except OSError:  # read-only store: recency tracking degrades silently
-            pass
+        if self.touch_on_get:
+            try:
+                # Mark recency so LRU eviction (prune_to_size) and age pruning
+                # keep entries that are still being *read*, not just written.
+                os.utime(path)
+            except OSError:  # read-only store: recency tracking degrades silently
+                pass
         return value
 
     def put(self, key: str, value) -> Path:

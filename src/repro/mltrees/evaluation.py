@@ -28,6 +28,24 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
+def level_predictor(tree, engine: str = "batch"):
+    """Resolve ``(tree, engine)`` to a levels->labels prediction callable.
+
+    Returns a function mapping an ``(n_samples, n_features)`` quantized-level
+    matrix to predicted labels.  Resolving once hoists the engine dispatch
+    (and, for ``"bitparallel"``, the kernel compilation) out of hot loops:
+    the serving scorer calls the resolved predictor once per flush with zero
+    per-call dispatch overhead.  Both engines are bit-identical.
+    """
+    resolve_engine(engine)
+    if engine == "bitparallel":
+        # Local import: the kernel lives in core (which imports mltrees).
+        from repro.core.bitkernel import compile_tree_kernel
+
+        return compile_tree_kernel(tree).predict_levels
+    return tree.predict_levels
+
+
 def predict_levels_with_engine(tree, X_levels: np.ndarray, engine: str = "batch") -> np.ndarray:
     """Predict quantized samples through the selected inference engine.
 
@@ -37,13 +55,7 @@ def predict_levels_with_engine(tree, X_levels: np.ndarray, engine: str = "batch"
     per uint64 word; predictions are bit-identical to ``tree.predict_levels``
     either way, so switching engines never changes results.
     """
-    resolve_engine(engine)
-    if engine == "bitparallel":
-        # Local import: the kernel lives in core (which imports mltrees).
-        from repro.core.bitkernel import compile_tree_kernel
-
-        return compile_tree_kernel(tree).predict_levels(X_levels)
-    return tree.predict_levels(X_levels)
+    return level_predictor(tree, engine)(X_levels)
 
 
 def evaluate_tree_accuracy(

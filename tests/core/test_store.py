@@ -9,7 +9,7 @@ import time
 
 import pytest
 
-from repro.core.store import ResultStore, code_version, make_key
+from repro.core.store import ResultStore, code_version, content_digest, make_key
 
 
 @pytest.fixture
@@ -38,6 +38,57 @@ class TestMakeKey:
         from repro.pdk.egfet import default_technology
 
         assert make_key(tech=default_technology()) == make_key(tech=default_technology())
+
+
+class TestContentDigest:
+    def test_field_order_does_not_matter(self):
+        assert content_digest(a=1, b="x") == content_digest(b="x", a=1)
+
+    def test_no_code_version_mixed_in(self):
+        """content_digest is a pure content address: stable across package
+        upgrades, unlike make_key (which exists to expire stale results)."""
+        digest = content_digest(seed=0)
+        # make_key == content_digest once code_version is passed explicitly.
+        assert make_key(seed=0) == content_digest(seed=0, code_version=code_version())
+        # Without it, the two address different things.
+        assert make_key(seed=0) != digest
+
+    def test_is_hex_sha256(self):
+        digest = content_digest(kind="artifact", n=1)
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestTouchOnGet:
+    def _aged_entry(self, store, age_s=3600.0):
+        key = make_key(n="aged")
+        store.put(key, "value")
+        path = store.path_for(key)
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+        return key, path
+
+    def test_default_get_refreshes_mtime(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path / "cache")
+        key, path = self._aged_entry(store)
+        before = path.stat().st_mtime
+        assert store.get(key) == "value"
+        assert path.stat().st_mtime > before  # LRU recency refreshed
+
+    def test_fast_read_get_leaves_mtime_untouched(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path / "cache", touch_on_get=False)
+        key, path = self._aged_entry(store)
+        before = path.stat().st_mtime_ns
+        assert store.get(key) == "value"  # still a full hit ...
+        assert store.stats.hits == 1
+        assert path.stat().st_mtime_ns == before  # ... with zero writes
+
+    def test_fast_read_store_interoperates_with_writer(self, tmp_path):
+        writer = ResultStore(cache_dir=tmp_path / "cache")
+        reader = ResultStore(cache_dir=tmp_path / "cache", touch_on_get=False)
+        key = make_key(n="shared")
+        writer.put(key, {"accuracy": 0.9})
+        assert reader.get(key) == {"accuracy": 0.9}
 
 
 class TestResultStore:

@@ -1,0 +1,170 @@
+"""Tests for the open/closed-loop load generators and their reports."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.scorer import AsyncScorer
+
+N_FEATURES = 5  # matches the small_tree conftest fixture
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rng = np.random.default_rng(29)
+    return rng.random((128, N_FEATURES))
+
+
+class TestOpenLoop:
+    def test_request_count_bound(self, small_tree, rows):
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                return await run_open_loop(
+                    scorer, rows, rate_hz=5000.0, n_requests=50
+                )
+
+        report = run(scenario())
+        assert report.n_requests == 50
+        assert report.n_errors == 0
+        assert report.offered_rate_hz == 5000.0
+        assert report.throughput_hz > 0
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+
+    def test_duration_bound(self, small_tree, rows):
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                return await run_open_loop(
+                    scorer, rows, rate_hz=1000.0, duration_s=0.05
+                )
+
+        report = run(scenario())
+        # duration * rate requests are scheduled up front (open loop).
+        assert report.n_requests == 50
+
+    def test_latency_charged_from_scheduled_arrival(self, small_tree, rows):
+        """Coordinated-omission safety: a scorer that stalls accumulates
+        latency for every scheduled-but-unserved request, so the late
+        requests' percentiles dominate rather than vanish."""
+
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                # Far beyond sustainable single-flush pacing: most requests
+                # queue behind earlier flushes and are charged the wait.
+                return await run_open_loop(
+                    scorer, rows, rate_hz=200_000.0, n_requests=400
+                )
+
+        report = run(scenario())
+        assert report.n_requests == 400
+        # With 400 requests scheduled inside 2ms, the last request's
+        # latency must include its queueing delay, so max >= p50.
+        assert report.max_ms >= report.p50_ms
+
+    def test_validation_errors(self, small_tree, rows):
+        async def with_scorer(coro_fn):
+            async with AsyncScorer(small_tree) as scorer:
+                await coro_fn(scorer)
+
+        with pytest.raises(ValueError, match="exactly one"):
+            run(with_scorer(lambda s: run_open_loop(s, rows, 100.0)))
+        with pytest.raises(ValueError, match="exactly one"):
+            run(
+                with_scorer(
+                    lambda s: run_open_loop(
+                        s, rows, 100.0, duration_s=1.0, n_requests=5
+                    )
+                )
+            )
+        with pytest.raises(ValueError, match="rate_hz"):
+            run(with_scorer(lambda s: run_open_loop(s, rows, 0.0, n_requests=5)))
+        with pytest.raises(ValueError, match="non-empty"):
+            run(
+                with_scorer(
+                    lambda s: run_open_loop(
+                        s, np.empty((0, N_FEATURES)), 100.0, n_requests=5
+                    )
+                )
+            )
+
+
+class TestClosedLoop:
+    def test_every_client_completes_its_quota(self, small_tree, rows):
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                return await run_closed_loop(
+                    scorer, rows, n_clients=16, requests_per_client=5
+                )
+
+        report = run(scenario())
+        assert report.n_requests == 16 * 5
+        assert report.n_errors == 0
+        assert report.offered_rate_hz is None  # clients set the pace
+        assert report.batcher.n_requests == 16 * 5
+
+    def test_validation_errors(self, small_tree, rows):
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                with pytest.raises(ValueError, match=">= 1"):
+                    await run_closed_loop(
+                        scorer, rows, n_clients=0, requests_per_client=5
+                    )
+                with pytest.raises(ValueError, match="non-empty"):
+                    await run_closed_loop(
+                        scorer,
+                        np.empty((0, N_FEATURES)),
+                        n_clients=2,
+                        requests_per_client=2,
+                    )
+
+        run(scenario())
+
+
+class TestLoadReport:
+    def _report(self, small_tree, rows):
+        async def scenario():
+            async with AsyncScorer(small_tree) as scorer:
+                return await run_open_loop(
+                    scorer, rows, rate_hz=5000.0, n_requests=30
+                )
+
+        return run(scenario())
+
+    def test_to_dict_is_json_ready(self, small_tree, rows):
+        payload = self._report(small_tree, rows).to_dict()
+        assert payload["n_requests"] == 30
+        assert set(payload["batching"]) == {
+            "n_flushes",
+            "n_full_flushes",
+            "n_timeout_flushes",
+            "n_drain_flushes",
+            "max_batch",
+            "mean_batch",
+        }
+        import json
+
+        json.dumps(payload)  # must serialize without custom encoders
+
+    def test_summary_is_one_line(self, small_tree, rows):
+        summary = self._report(small_tree, rows).summary()
+        assert "\n" not in summary
+        assert "p99" in summary
+        assert "requests" in summary
+
+    def test_empty_run_is_an_error(self, small_tree):
+        from repro.serve.batching import BatcherStats
+        from repro.serve.loadgen import _report
+
+        with pytest.raises(ValueError, match="zero requests"):
+            _report([], 0, 1.0, None, BatcherStats())
+
+    def test_report_is_frozen(self, small_tree, rows):
+        report = self._report(small_tree, rows)
+        with pytest.raises(AttributeError):
+            report.n_requests = 0
+        assert isinstance(report, LoadReport)
