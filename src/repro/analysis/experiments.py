@@ -533,6 +533,56 @@ def run_robust_exploration(
 
 
 # ---------------------------------------------------------------------- #
+# budgeted design-space search (repro.cli search)
+# ---------------------------------------------------------------------- #
+def run_search_study(
+    dataset: str,
+    budget: int,
+    objectives=("-accuracy", "power"),
+    seed: int = 0,
+    space: str | object = "paper",
+    sigma_v: float | None = None,
+    variation_trials: int = 100,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    store: ResultStore | None = None,
+    use_cache: bool = True,
+    batch_size: int = 4,
+):
+    """Run one budgeted multi-objective study (see :mod:`repro.search`).
+
+    The orchestration-level entry point behind ``repro.cli search``:
+    resolves the named space (``"paper"`` or ``"wide"``, or a pre-built
+    :class:`~repro.search.space.SearchSpace`), wires the study into the
+    same store/cache plumbing as the suite runners -- trials on the paper
+    grid warm-start from cached suite sweeps, robustness objectives share
+    the ``variation`` Monte-Carlo pool -- and returns the
+    :class:`~repro.search.study.StudyResult`.  Seeded studies are
+    bit-reproducible and independent of ``jobs``.
+    """
+    # Deferred: keeps repro.search out of module import time (layering:
+    # analysis orchestrates, search stays importable on its own).
+    from repro.search import Study, get_space
+
+    if isinstance(space, str):
+        space = get_space(space)
+    if use_cache and store is None:
+        store = ResultStore(cache_dir) if cache_dir is not None else default_store()
+    study = Study(
+        dataset,
+        space=space,
+        objectives=objectives,
+        seed=seed,
+        sigma_v=sigma_v,
+        variation_trials=variation_trials,
+        store=store,
+        use_cache=use_cache,
+        batch_size=batch_size,
+    )
+    return study.run(budget=budget, jobs=jobs)
+
+
+# ---------------------------------------------------------------------- #
 # sharded execution (repro.cli suite / assemble)
 # ---------------------------------------------------------------------- #
 def _variation_unit_job(

@@ -43,6 +43,19 @@ so robustness comes from threshold placement instead of hardware margin::
     python -m repro.cli table2 --sigma 0.04 --training-sigma 0.04 \
         --max-accuracy-drop 0.01
 
+Budgeted multi-objective search: instead of sweeping the exhaustive
+depth x tau grid, a seeded Pareto-TPE sampler spends a fixed trial budget,
+warm-starting every trial it can from cached suite sweeps (see
+``docs/SEARCH.md``)::
+
+    python -m repro.cli search --dataset seeds --budget 12
+    python -m repro.cli search --dataset cardio --budget 16 \
+        --objective=-accuracy --objective area \
+        --json study.json --html pareto.html
+    python -m repro.cli search --dataset seeds --budget 12 --space wide \
+        --sigma 0.02 --objective=-accuracy --objective power \
+        --objective mean_accuracy_drop
+
 Sharded suite execution: the work-unit planner splits the suite's
 (dataset, variant) and per-(depth, tau) Monte-Carlo units across N shards
 by stable hashing, each shard computes only its units into its own store,
@@ -145,6 +158,7 @@ from repro.core.sharding import MissingResultsError, ShardSpec, plan_suite_units
 from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.mltrees.evaluation import ENGINES
+from repro.search.space import space_names
 
 
 def _jobs_argument(value: str) -> int:
@@ -736,6 +750,71 @@ def _cmd_variation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Budgeted multi-objective search (see ``docs/SEARCH.md``)."""
+    from repro.analysis.experiments import run_search_study
+    from repro.search import render_dashboard
+
+    objectives = tuple(args.objective) if args.objective else ("-accuracy", "power")
+    try:
+        result = run_search_study(
+            args.dataset,
+            budget=args.budget,
+            objectives=objectives,
+            seed=args.seed,
+            space=args.space,
+            sigma_v=args.sigma,
+            variation_trials=args.trials,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            batch_size=args.batch_size,
+        )
+    except ValueError as exc:
+        # Bad objective spellings / incompatible flags (e.g. the
+        # mean_accuracy_drop objective without --sigma) are usage errors.
+        print(f"search: {exc}", file=sys.stderr)
+        return 2
+    front_numbers = set(result.front_numbers)
+    print(
+        f"Budgeted search of {result.dataset} ({args.space} space, budget "
+        f"{result.budget}, seed {result.seed}, objectives "
+        f"{', '.join(result.objectives)}): {len(result.trials)} trials, "
+        f"{result.n_from_cache} from cache / {result.n_trained} trained, "
+        f"{len(result.front_numbers)} on the front\n"
+    )
+    print(
+        render_table(
+            ["#", "depth", "tau", "acc (%)", "power (uW)", "area (mm2)",
+             "mean drop (%)", "source", "front"],
+            [
+                (
+                    trial.number,
+                    trial.config["depth"],
+                    trial.config["tau"],
+                    trial.accuracy * 100.0,
+                    trial.power_uw,
+                    trial.area_mm2,
+                    "-" if trial.mean_accuracy_drop is None
+                    else trial.mean_accuracy_drop * 100.0,
+                    "cache" if trial.from_cache else "trained",
+                    "*" if trial.number in front_numbers else "",
+                )
+                for trial in result.trials
+            ],
+        )
+    )
+    if args.json:
+        Path(args.json).write_text(result.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    if args.html:
+        Path(args.html).write_text(
+            render_dashboard(result.to_json_dict()), encoding="utf-8"
+        )
+        print(f"wrote {args.html}")
+    return 0
+
+
 def _cache_store(args: argparse.Namespace) -> ResultStore:
     return ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
 
@@ -744,11 +823,15 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     store = _cache_store(args)
     disk = store.disk_stats()
     lifetime = store.lifetime_stats()
+    search = store.lifetime_search_stats()
     requests = lifetime["hits"] + lifetime["misses"]
     hit_rate = (lifetime["hits"] / requests * 100.0) if requests else 0.0
+    n_search_trials = search["from_cache"] + search["trained"]
     if args.json:
         # Machine-readable variant: CI steps assert on hit/miss counts by
-        # parsing this instead of grepping the human rendering.
+        # parsing this instead of grepping the human rendering.  The
+        # "search" section carries the study trial accounting the nightly
+        # search job asserts its warm-start rate on.
         print(
             json.dumps(
                 {
@@ -761,6 +844,15 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
                     },
                     "lifetime": lifetime,
                     "hit_rate": (lifetime["hits"] / requests) if requests else None,
+                    "search": {
+                        "from_cache": search["from_cache"],
+                        "trained": search["trained"],
+                        "warm_start_rate": (
+                            search["from_cache"] / n_search_trials
+                            if n_search_trials
+                            else None
+                        ),
+                    },
                 },
                 sort_keys=True,
             )
@@ -777,6 +869,12 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         f"lifetime:  {lifetime['hits']} hits / {lifetime['misses']} misses "
         f"({hit_rate:.0f}% hit rate), {lifetime['stores']} stores"
     )
+    if n_search_trials:
+        print(
+            f"search:    {search['from_cache']} trials from cache / "
+            f"{search['trained']} trained "
+            f"({search['from_cache'] / n_search_trials * 100.0:.0f}% warm-start)"
+        )
     return 0
 
 
@@ -1162,6 +1260,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the result store and recompute the analysis",
     )
     variation.set_defaults(handler=_cmd_variation)
+
+    search = subparsers.add_parser(
+        "search",
+        help="budgeted multi-objective design-space search (Pareto-TPE + "
+        "NSGA-II fronts) warm-started from the result store",
+    )
+    search.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to search"
+    )
+    search.add_argument(
+        "--budget", type=int, required=True, help="trial budget of the study"
+    )
+    search.add_argument(
+        "--objective",
+        action="append",
+        default=None,
+        metavar="METRIC",
+        help="objective metric, repeatable; each is minimized, prefix '-' to "
+        "maximize (spell maximized metrics as --objective=-accuracy so the "
+        "leading dash survives argparse).  Default: -accuracy power; "
+        "metrics: accuracy, power, area, mean_accuracy_drop",
+    )
+    search.add_argument(
+        "--space",
+        choices=space_names(),
+        default="paper",
+        help="parameter space to search (default: the paper's 49-point grid)",
+    )
+    search.add_argument(
+        "--sigma",
+        type=_sigma_argument,
+        default=None,
+        help="comparator offset sigma in volts; required by the "
+        "mean_accuracy_drop objective (shares the variation Monte-Carlo pool)",
+    )
+    search.add_argument(
+        "--trials",
+        type=int,
+        default=100,
+        help="Monte-Carlo trials per design point (with --sigma)",
+    )
+    search.add_argument("--seed", type=int, default=0, help="global seed")
+    search.add_argument(
+        "--batch-size",
+        type=int,
+        default=4,
+        help="trials per ask/tell round (fixed independently of --jobs, so "
+        "serial and parallel studies are identical)",
+    )
+    search.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=None,
+        help="worker processes for unresolved trials "
+        "(default: serial; 0 = one per CPU)",
+    )
+    search.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result store "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    search.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result store and train every trial",
+    )
+    search.add_argument(
+        "--json", default=None, help="write the JSON study record here"
+    )
+    search.add_argument(
+        "--html",
+        default=None,
+        help="write the self-contained HTML Pareto dashboard here",
+    )
+    search.set_defaults(handler=_cmd_search)
 
     suite = subparsers.add_parser(
         "suite",

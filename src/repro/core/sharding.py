@@ -78,6 +78,46 @@ def suite_result_key(
     )
 
 
+def canonical_trial_key(
+    dataset: str,
+    seed: int,
+    depth: int,
+    tau: float,
+    resolution_bits: int = 4,
+    technology=None,
+    test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+) -> str:
+    """Content-address one (dataset, depth, tau, training) design point.
+
+    This is the **single** cache identity for an individually evaluated
+    design point, shared by search trials (:mod:`repro.search`) and any
+    future per-point consumer, so two code paths evaluating the same point
+    can never drift to different keys.  Normalization mirrors the suite and
+    variation keys exactly: canonical dataset name, canonical training
+    knobs (``training_sigma == 0`` zeroes the weight -- the penalty is
+    inert then, and ``robustness_weight == 0`` zeroes the sigma for the
+    same reason), the default technology when none is given, and the code
+    version folded in by :func:`~repro.core.store.make_key`.
+    """
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    return make_key(
+        kind="design_point",
+        dataset=canonical_name(dataset),
+        seed=int(seed),
+        depth=int(depth),
+        tau=float(tau),
+        resolution_bits=int(resolution_bits),
+        technology=technology if technology is not None else default_technology(),
+        test_size=float(test_size),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
+    )
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """One shard of an ``N``-way split, written ``K/N`` (1-based)."""

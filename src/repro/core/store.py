@@ -221,6 +221,13 @@ class ResultStore:
         #: Snapshot of the counters at the last :meth:`flush_stats`, so the
         #: flush only adds the delta accumulated since.
         self._flushed = StoreStats()
+        #: Search-trial accounting of this instance (trials resolved from
+        #: cache vs. freshly trained), flushed alongside the hit/miss
+        #: counters.  Store-local: merges never absorb another store's
+        #: search counters, because a trial "trained here" is a property of
+        #: this store's history, not of the entries it happens to hold.
+        self._search = {"from_cache": 0, "trained": 0}
+        self._search_flushed = {"from_cache": 0, "trained": 0}
 
     # ------------------------------------------------------------------ #
     # keys and paths
@@ -503,6 +510,49 @@ class ResultStore:
             return None
         return store_id
 
+    def _read_search_stats(self) -> dict[str, int]:
+        """This store's persisted search-trial counters ({0, 0} when absent)."""
+        raw = self._read_stats_file().get("search")
+        counters = {"from_cache": 0, "trained": 0}
+        if isinstance(raw, dict):
+            for field in counters:
+                try:
+                    counters[field] = int(raw.get(field, 0))
+                except (ValueError, TypeError):
+                    counters[field] = 0
+        return counters
+
+    def record_search_stats(self, *, from_cache: int = 0, trained: int = 0) -> None:
+        """Count search trials resolved from cache vs. freshly trained.
+
+        :class:`repro.search.study.Study` calls this once per run; the
+        counters persist to ``_stats.json`` on the next :meth:`flush_stats`
+        and surface in ``repro.cli cache stats --json`` under ``search``,
+        which is what CI asserts warm-start hit rates against.
+        """
+        if from_cache < 0 or trained < 0:
+            raise ValueError("search counters must be >= 0")
+        self._search["from_cache"] += int(from_cache)
+        self._search["trained"] += int(trained)
+
+    def lifetime_search_stats(self) -> dict[str, int]:
+        """Lifetime search-trial counters: flushed file + unflushed deltas.
+
+        Unlike :meth:`lifetime_stats`, merged source stores do not
+        contribute -- the counters describe studies run *against this
+        store*, not against the shards folded into it.
+        """
+        totals = self._read_search_stats()
+        for field, delta in self._unflushed_search_delta().items():
+            totals[field] += max(0, delta)
+        return totals
+
+    def _unflushed_search_delta(self) -> dict[str, int]:
+        return {
+            field: self._search[field] - self._search_flushed[field]
+            for field in ("from_cache", "trained")
+        }
+
     def _unflushed_delta(self) -> dict[str, int]:
         return {
             "hits": self.stats.hits - self._flushed.hits,
@@ -529,12 +579,17 @@ class ResultStore:
         own = self._read_lifetime_stats()
         for field, delta in self._unflushed_delta().items():
             own[field] += max(0, delta)
+        search = self._read_search_stats()
+        for field, delta in self._unflushed_search_delta().items():
+            search[field] += max(0, delta)
         sources = self._read_sources()
         totals = dict(own)
         for counters in sources.values():
             for field in totals:
                 totals[field] += counters[field]
         payload: dict = dict(own)
+        if any(search.values()):
+            payload["search"] = search
         if sources:
             payload["sources"] = sources
         store_id = raw.get("store_id")
@@ -544,6 +599,7 @@ class ResultStore:
             self._flushed = StoreStats(
                 self.stats.hits, self.stats.misses, self.stats.stores
             )
+            self._search_flushed = dict(self._search)
         return totals
 
     def lifetime_stats(self) -> dict[str, int]:
@@ -626,6 +682,9 @@ class ResultStore:
         sources.update(incoming)
         raw = self._read_stats_file()
         payload: dict = self._read_lifetime_stats()
+        search = self._read_search_stats()
+        if any(search.values()):
+            payload["search"] = search
         payload["sources"] = sources
         store_id = raw.get("store_id")
         if isinstance(store_id, str) and store_id:

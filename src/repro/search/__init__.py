@@ -1,0 +1,49 @@
+"""Budgeted multi-objective design-space search.
+
+Replaces the exhaustive depth x tau grid of Section IV with a seeded,
+dependency-free optimization loop: a typed parameter space
+(:mod:`repro.search.space`), a Pareto-aware TPE-style sampler with
+NSGA-II-style selection (:mod:`repro.search.optimizer`), and a
+cache-warm-started study runner (:mod:`repro.search.study`) that fans
+trials through the :class:`~repro.core.executor.Executor` and extracts
+fronts with :mod:`repro.core.pareto`.  See ``docs/SEARCH.md``.
+"""
+
+from repro.search.dashboard import render_dashboard
+from repro.search.optimizer import (
+    ParetoTPESampler,
+    crowding_distance,
+    hypervolume,
+    non_dominated_sort,
+)
+from repro.search.space import (
+    CategoricalDimension,
+    FloatDimension,
+    IntDimension,
+    SearchSpace,
+    get_space,
+    paper_space,
+    space_names,
+    wide_space,
+)
+from repro.search.study import Study, StudyResult, Trial, parse_objectives
+
+__all__ = [
+    "CategoricalDimension",
+    "FloatDimension",
+    "IntDimension",
+    "SearchSpace",
+    "get_space",
+    "paper_space",
+    "space_names",
+    "wide_space",
+    "ParetoTPESampler",
+    "crowding_distance",
+    "hypervolume",
+    "non_dominated_sort",
+    "Study",
+    "StudyResult",
+    "Trial",
+    "parse_objectives",
+    "render_dashboard",
+]

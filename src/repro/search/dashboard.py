@@ -1,0 +1,206 @@
+"""Self-contained HTML Pareto dashboard for study records.
+
+:func:`render_dashboard` turns the JSON study record of
+:meth:`repro.search.study.StudyResult.to_json_dict` into one static HTML
+page: an inline-SVG scatter of the first two objectives with the
+non-dominated front highlighted and connected, plus a sortable-by-eye
+trial table.  No external assets, no JavaScript -- the page is a CI
+artifact that must render identically forever, from a file:// URL, with
+no network.  Rendering is deterministic: equal records produce equal
+bytes.
+"""
+
+from __future__ import annotations
+
+import html
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN = 54
+
+
+def _scale(value: float, low: float, high: float, out_low: float, out_high: float) -> float:
+    if high == low:
+        return (out_low + out_high) / 2.0
+    return out_low + (value - low) / (high - low) * (out_high - out_low)
+
+
+def _axis_ticks(low: float, high: float, n: int = 5) -> list[float]:
+    if high == low:
+        return [low]
+    return [low + k * (high - low) / (n - 1) for k in range(n)]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _scatter_svg(record: dict) -> str:
+    """The objective-space scatter (first two objectives) as inline SVG."""
+    trials = record["trials"]
+    labels = record["objectives"]
+    front = set(record["front"])
+    xs = [trial["objectives"][0] for trial in trials]
+    ys = [trial["objectives"][1] for trial in trials]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    pad_x = (x_high - x_low) * 0.06 or max(abs(x_low), 1.0) * 0.05
+    pad_y = (y_high - y_low) * 0.06 or max(abs(y_low), 1.0) * 0.05
+    x_low, x_high = x_low - pad_x, x_high + pad_x
+    y_low, y_high = y_low - pad_y, y_high + pad_y
+
+    def sx(v):
+        return _scale(v, x_low, x_high, _MARGIN, _WIDTH - 16)
+
+    def sy(v):
+        # SVG y grows downward; better (smaller) objective values plot lower-left.
+        return _scale(v, y_low, y_high, _HEIGHT - _MARGIN, 16)
+
+    parts = [
+        f'<svg viewBox="0 0 {_WIDTH} {_HEIGHT}" role="img" '
+        f'aria-label="objective space">',
+        f'<rect x="{_MARGIN}" y="16" width="{_WIDTH - 16 - _MARGIN}" '
+        f'height="{_HEIGHT - _MARGIN - 16}" class="plot-bg"/>',
+    ]
+    for tick in _axis_ticks(x_low, x_high):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="16" x2="{x:.1f}" y2="{_HEIGHT - _MARGIN}" '
+            f'class="grid"/>'
+            f'<text x="{x:.1f}" y="{_HEIGHT - _MARGIN + 16}" class="tick" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _axis_ticks(y_low, y_high):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN}" y1="{y:.1f}" x2="{_WIDTH - 16}" y2="{y:.1f}" '
+            f'class="grid"/>'
+            f'<text x="{_MARGIN - 6}" y="{y + 4:.1f}" class="tick" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{(_MARGIN + _WIDTH - 16) / 2:.0f}" y="{_HEIGHT - 10}" '
+        f'class="axis" text-anchor="middle">{html.escape(labels[0])} '
+        f'(minimized)</text>'
+        f'<text x="14" y="{(_HEIGHT - _MARGIN + 16) / 2:.0f}" class="axis" '
+        f'text-anchor="middle" transform="rotate(-90 14 '
+        f'{(_HEIGHT - _MARGIN + 16) / 2:.0f})">{html.escape(labels[1])} '
+        f'(minimized)</text>'
+    )
+    # Front polyline (front numbers arrive sorted by objective tuple).
+    front_points = [t for t in trials if t["number"] in front]
+    if len(front_points) > 1:
+        path = " ".join(
+            f"{sx(t['objectives'][0]):.1f},{sy(t['objectives'][1]):.1f}"
+            for t in front_points
+        )
+        parts.append(f'<polyline points="{path}" class="front-line"/>')
+    for trial in trials:
+        x, y = sx(trial["objectives"][0]), sy(trial["objectives"][1])
+        on_front = trial["number"] in front
+        cls = "front" if on_front else ("cached" if trial["from_cache"] else "trained")
+        title = (
+            f"trial {trial['number']}: "
+            + ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(trial["config"].items()))
+        )
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{6 if on_front else 4}" '
+            f'class="pt {cls}"><title>{html.escape(title)}</title></circle>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trial_table(record: dict) -> str:
+    front = set(record["front"])
+    header = (
+        "<tr><th>#</th><th>config</th><th>accuracy</th><th>power [uW]</th>"
+        "<th>area [mm2]</th><th>mean drop</th><th>source</th><th>front</th></tr>"
+    )
+    rows = []
+    for trial in record["trials"]:
+        config = ", ".join(
+            f"{k}={_fmt(v)}" for k, v in sorted(trial["config"].items())
+        )
+        rows.append(
+            "<tr{cls}><td>{n}</td><td class=\"config\">{config}</td>"
+            "<td>{acc}</td><td>{power}</td><td>{area}</td><td>{drop}</td>"
+            "<td>{source}</td><td>{front}</td></tr>".format(
+                cls=' class="on-front"' if trial["number"] in front else "",
+                n=trial["number"],
+                config=html.escape(config),
+                acc=_fmt(trial["accuracy"]),
+                power=_fmt(trial["power_uw"]),
+                area=_fmt(trial["area_mm2"]),
+                drop=_fmt(trial["mean_accuracy_drop"]),
+                source="cache" if trial["from_cache"] else "trained",
+                front="*" if trial["number"] in front else "",
+            )
+        )
+    return f"<table>{header}{''.join(rows)}</table>"
+
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2a; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+.meta { color: #555; font-size: 0.9rem; }
+.meta code { background: #f2f2f7; padding: 0.1rem 0.3rem; border-radius: 3px; }
+svg { width: 100%; height: auto; max-width: 46rem; display: block; }
+.plot-bg { fill: #fafafc; stroke: #ccc; }
+.grid { stroke: #e8e8ee; stroke-width: 1; }
+.tick { font-size: 10px; fill: #777; }
+.axis { font-size: 12px; fill: #333; }
+.pt.trained { fill: #8888aa; opacity: 0.75; }
+.pt.cached { fill: #4a90d9; opacity: 0.75; }
+.pt.front { fill: #d94a4a; stroke: #7a1f1f; stroke-width: 1; }
+.front-line { fill: none; stroke: #d94a4a; stroke-width: 1.5; stroke-dasharray: 4 3; }
+table { border-collapse: collapse; font-size: 0.85rem; width: 100%; }
+th, td { border: 1px solid #ddd; padding: 0.3rem 0.5rem; text-align: right; }
+th { background: #f2f2f7; } td.config { text-align: left; }
+tr.on-front { background: #fdf0f0; }
+.legend span { margin-right: 1.2rem; font-size: 0.85rem; }
+.dot { display: inline-block; width: 0.7em; height: 0.7em; border-radius: 50%;
+       margin-right: 0.3em; }
+"""
+
+
+def render_dashboard(record: dict) -> str:
+    """Render one study record (``StudyResult.to_json_dict()``) to HTML."""
+    required = {"trials", "front", "objectives", "dataset"}
+    missing = required - set(record)
+    if missing:
+        raise ValueError(f"study record is missing fields: {sorted(missing)}")
+    if not record["trials"]:
+        body = "<p>The study recorded no trials.</p>"
+    else:
+        legend = (
+            '<p class="legend">'
+            '<span><span class="dot" style="background:#d94a4a"></span>'
+            "Pareto front</span>"
+            '<span><span class="dot" style="background:#4a90d9"></span>'
+            "resolved from cache</span>"
+            '<span><span class="dot" style="background:#8888aa"></span>'
+            "trained</span></p>"
+        )
+        body = legend + _scatter_svg(record) + "<h2>Trials</h2>" + _trial_table(record)
+    objectives = ", ".join(record["objectives"])
+    meta = (
+        f'<p class="meta">dataset <code>{html.escape(str(record["dataset"]))}</code>'
+        f' &middot; objectives <code>{html.escape(objectives)}</code>'
+        f' &middot; seed {record.get("seed", "?")}'
+        f' &middot; {record.get("n_trials", len(record["trials"]))} trials'
+        f' ({record.get("n_from_cache", "?")} from cache,'
+        f' {record.get("n_trained", "?")} trained)</p>'
+    )
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>search study: {html.escape(str(record['dataset']))}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>Budgeted design-space search &mdash; "
+        f"{html.escape(str(record['dataset']))}</h1>"
+        f"{meta}{body}</body></html>"
+    )

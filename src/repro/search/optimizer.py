@@ -1,0 +1,315 @@
+"""Seeded multi-objective optimization primitives (dependency-free).
+
+Three layers, all over **minimize-tuples** (maximized metrics enter
+negated, see :func:`repro.search.study.parse_objectives`):
+
+* :func:`non_dominated_sort` -- NSGA-II-style front peeling built on the
+  brute-force dominance primitives of :mod:`repro.core.pareto` (which the
+  property tests use as the oracle);
+* :func:`crowding_distance` and :func:`hypervolume` -- the diversity and
+  front-quality measures (exact 2-D sweep, recursive slicing beyond);
+* :class:`ParetoTPESampler` -- a seeded ask/tell sampler: uniform startup
+  trials, then candidates are perturbations of the current elite set
+  (front rank + crowding) scored by a Parzen-window density ratio
+  ``l(x) / g(x)`` in the encoded unit hypercube, TPE-style.  Everything is
+  drawn from one ``numpy`` Generator in a fixed order, so a seed fully
+  determines the trial sequence -- the bit-reproducibility the study
+  guarantees build on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.pareto import non_dominated_indices
+from repro.search.space import CategoricalDimension, SearchSpace
+
+
+def non_dominated_sort(objectives) -> list[list[int]]:
+    """Partition minimize-tuples into successive non-dominated fronts.
+
+    Front 0 is exactly the brute-force non-dominated set of the input;
+    front ``k`` is the non-dominated set once fronts ``0..k-1`` are
+    removed (NSGA-II's peeling).  Indices within a front keep input order.
+    """
+    objectives = [tuple(float(v) for v in row) for row in objectives]
+    remaining = list(range(len(objectives)))
+    fronts: list[list[int]] = []
+    while remaining:
+        local = non_dominated_indices([objectives[i] for i in remaining])
+        front = [remaining[i] for i in local]
+        fronts.append(front)
+        selected = set(front)
+        remaining = [i for i in remaining if i not in selected]
+    return fronts
+
+
+def crowding_distance(objectives) -> list[float]:
+    """NSGA-II crowding distance of each point *within one front*.
+
+    Boundary points of every objective get ``inf`` (they are always kept);
+    interior points get the normalized side-length sum of their bounding
+    cuboid.  Larger means less crowded.  The caller passes one front at a
+    time -- mixing fronts makes the distances meaningless.
+    """
+    n = len(objectives)
+    if n == 0:
+        return []
+    objectives = [tuple(float(v) for v in row) for row in objectives]
+    n_objectives = len(objectives[0])
+    distances = [0.0] * n
+    for axis in range(n_objectives):
+        order = sorted(range(n), key=lambda i: objectives[i][axis])
+        low = objectives[order[0]][axis]
+        high = objectives[order[-1]][axis]
+        distances[order[0]] = distances[order[-1]] = math.inf
+        span = high - low
+        if span <= 0:
+            continue
+        for rank in range(1, n - 1):
+            i = order[rank]
+            if distances[i] == math.inf:
+                continue
+            previous = objectives[order[rank - 1]][axis]
+            following = objectives[order[rank + 1]][axis]
+            distances[i] += (following - previous) / span
+    return distances
+
+
+def hypervolume(points, reference) -> float:
+    """Hypervolume dominated by minimize-tuples ``points`` w.r.t. ``reference``.
+
+    The reference point must be weakly worse than every point that should
+    contribute; points not strictly better than the reference on every
+    component contribute nothing and are dropped.  Exact: a linear sweep in
+    2-D, recursive slicing along the last objective beyond (fine for the
+    front sizes a study produces).
+    """
+    reference = tuple(float(r) for r in reference)
+    n_objectives = len(reference)
+    clipped = []
+    for point in points:
+        point = tuple(float(v) for v in point)
+        if len(point) != n_objectives:
+            raise ValueError(
+                f"point has {len(point)} objectives, reference has {n_objectives}"
+            )
+        if all(v < r for v, r in zip(point, reference)):
+            clipped.append(point)
+    if not clipped:
+        return 0.0
+    front = [clipped[i] for i in non_dominated_indices(clipped)]
+    front = sorted(set(front))
+    if n_objectives == 1:
+        return reference[0] - min(p[0] for p in front)
+    if n_objectives == 2:
+        # Sweep ascending in the first objective; the non-dominated front is
+        # strictly descending in the second, so each point owns the slab up
+        # to its successor's first coordinate.
+        total = 0.0
+        for i, (x, y) in enumerate(front):
+            x_next = front[i + 1][0] if i + 1 < len(front) else reference[0]
+            total += (x_next - x) * (reference[1] - y)
+        return total
+    # Slice along the last objective: each slab's thickness times the
+    # (n-1)-dimensional hypervolume of the points already "active".
+    levels = sorted({p[-1] for p in front})
+    total = 0.0
+    for k, level in enumerate(levels):
+        thickness = (levels[k + 1] if k + 1 < len(levels) else reference[-1]) - level
+        active = [p[:-1] for p in front if p[-1] <= level]
+        total += thickness * hypervolume(active, reference[:-1])
+    return total
+
+
+def pareto_rank_order(objectives) -> list[int]:
+    """Indices ordered best-first by (front rank, crowding distance).
+
+    The NSGA-II selection order: earlier fronts first, and within a front
+    less-crowded points first.  Ties keep input order (stable), so the
+    ordering -- and everything built on it -- is deterministic.
+    """
+    order: list[int] = []
+    for front in non_dominated_sort(objectives):
+        distances = crowding_distance([objectives[i] for i in front])
+        ranked = sorted(
+            range(len(front)), key=lambda j: (-distances[j], front[j])
+        )
+        order.extend(front[j] for j in ranked)
+    return order
+
+
+class ParetoTPESampler:
+    """Seeded ask/tell sampler over a :class:`~repro.search.space.SearchSpace`.
+
+    Parameters
+    ----------
+    space:
+        The parameter space; proposals live in its encoded unit hypercube.
+    seed:
+        Seeds the single Generator every draw comes from; the seed plus the
+        tell sequence fully determine every ask.
+    n_startup_trials:
+        Uniform random trials before the model kicks in (the exploration
+        phase every TPE needs).
+    n_candidates:
+        Candidate perturbations scored per proposal; the density-ratio
+        argmax among them is suggested.
+    gamma:
+        Fraction of observed trials forming the elite ("good") split, by
+        NSGA-II order (front rank, then crowding).
+    bandwidth:
+        Gaussian Parzen bandwidth in the encoded space (numeric dims).
+
+    Dedup: a configuration is never suggested twice (canonical
+    :meth:`~repro.search.space.SearchSpace.config_id` identity); on a
+    finite space whose configurations are exhausted, :meth:`ask` returns
+    fewer than requested (possibly zero) rather than repeating itself.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        n_startup_trials: int = 6,
+        n_candidates: int = 24,
+        gamma: float = 0.35,
+        bandwidth: float = 0.2,
+    ):
+        if n_startup_trials < 1:
+            raise ValueError("n_startup_trials must be >= 1")
+        if n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
+        if not 0 < gamma < 1:
+            raise ValueError("gamma must be in (0, 1)")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.space = space
+        self.seed = int(seed)
+        self.n_startup_trials = int(n_startup_trials)
+        self.n_candidates = int(n_candidates)
+        self.gamma = float(gamma)
+        self.bandwidth = float(bandwidth)
+        self._rng = np.random.default_rng(self.seed)
+        #: config_id -> canonical config, everything ever suggested.
+        self._suggested: dict[str, dict] = {}
+        #: (encoded vector, objectives) of every told trial, tell order.
+        self._observations: list[tuple[tuple[float, ...], tuple[float, ...]]] = []
+        self._categorical = [
+            isinstance(dim, CategoricalDimension) for dim in space.dimensions
+        ]
+
+    # ------------------------------------------------------------------ #
+    # ask / tell
+    # ------------------------------------------------------------------ #
+    def ask(self, n: int = 1) -> list[dict]:
+        """Suggest up to ``n`` fresh canonical configurations."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        batch: list[dict] = []
+        for _ in range(n):
+            config = self._propose_unseen()
+            if config is None:
+                break
+            self._suggested[self.space.config_id(config)] = config
+            batch.append(config)
+        return batch
+
+    def tell(self, config: dict, objectives) -> None:
+        """Record one evaluated trial (objectives: minimize-tuple)."""
+        config = self.space.canonical(config)
+        self._suggested.setdefault(self.space.config_id(config), config)
+        self._observations.append(
+            (self.space.encode(config), tuple(float(v) for v in objectives))
+        )
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._observations)
+
+    # ------------------------------------------------------------------ #
+    # proposal machinery
+    # ------------------------------------------------------------------ #
+    def _propose_unseen(self) -> dict | None:
+        cardinality = self.space.cardinality
+        if cardinality is not None and len(self._suggested) >= cardinality:
+            return None
+        use_model = len(self._observations) >= self.n_startup_trials
+        attempts = max(64, 8 * self.n_candidates)
+        for _ in range(attempts):
+            config = self._model_proposal() if use_model else self.space.sample(self._rng)
+            if self.space.config_id(config) not in self._suggested:
+                return config
+        if cardinality is not None:
+            # Finite space, random draws kept colliding: fall back to the
+            # first unseen configuration in canonical enumeration order.
+            for config in self.space.enumerate():
+                if self.space.config_id(config) not in self._suggested:
+                    return config
+            return None
+        # Continuous space: collisions this persistent mean the canonical
+        # grid is effectively saturated around the model's mode; one last
+        # uniform draw keeps the study moving.
+        config = self.space.sample(self._rng)
+        return None if self.space.config_id(config) in self._suggested else config
+
+    def _model_proposal(self) -> dict:
+        """One TPE-style proposal: perturb an elite, keep the best ratio."""
+        vectors = [vec for vec, _ in self._observations]
+        objectives = [obj for _, obj in self._observations]
+        order = pareto_rank_order(objectives)
+        n_good = max(1, math.ceil(self.gamma * len(order)))
+        good = [vectors[i] for i in order[:n_good]]
+        bad = [vectors[i] for i in order[n_good:]] or good
+        best_vector = None
+        best_score = -math.inf
+        for _ in range(self.n_candidates):
+            base = good[int(self._rng.integers(len(good)))]
+            candidate = self._perturb(base)
+            score = self._log_density(candidate, good) - self._log_density(
+                candidate, bad
+            )
+            if score > best_score:
+                best_score = score
+                best_vector = candidate
+        return self.space.decode(best_vector)
+
+    def _perturb(self, base) -> tuple[float, ...]:
+        out = []
+        for axis, u in enumerate(base):
+            if self._categorical[axis]:
+                # Keep the elite's choice most of the time, else resample.
+                if float(self._rng.random()) < 0.75:
+                    out.append(u)
+                else:
+                    out.append(float(self._rng.random()))
+            else:
+                value = u + float(self._rng.normal(0.0, self.bandwidth))
+                out.append(min(1.0, max(0.0, value)))
+        return tuple(out)
+
+    def _log_density(self, vector, sample) -> float:
+        """Log Parzen-window density of ``vector`` under ``sample``.
+
+        Numeric axes use Gaussian kernels at :attr:`bandwidth`; categorical
+        axes use the add-one-smoothed match frequency of the decoded
+        choice.  Axes are treated independently (the classic TPE
+        factorization).
+        """
+        total = 0.0
+        for axis, value in enumerate(vector):
+            column = [point[axis] for point in sample]
+            if self._categorical[axis]:
+                dim = self.space.dimensions[axis]
+                choice = dim.decode(value)
+                matches = sum(1 for u in column if dim.decode(u) == choice)
+                total += math.log(
+                    (matches + 1.0) / (len(column) + dim.n_choices)
+                )
+            else:
+                deviations = (np.asarray(column) - value) / self.bandwidth
+                kernels = np.exp(-0.5 * deviations**2)
+                total += math.log(float(kernels.mean()) + 1e-12)
+        return total

@@ -4,7 +4,13 @@ import pytest
 
 from repro.core.exploration import DesignPoint, DesignSpaceExplorer
 from repro.core.metrics import HardwareReport
-from repro.core.pareto import accuracy_area_front, accuracy_power_front, pareto_front
+from repro.core.pareto import (
+    accuracy_area_front,
+    accuracy_power_front,
+    dominates,
+    non_dominated_indices,
+    pareto_front,
+)
 
 
 def _point(accuracy, power_uw, area_mm2=1.0):
@@ -22,6 +28,55 @@ def _point(accuracy, power_uw, area_mm2=1.0):
         dataset="toy", depth=2, tau=0.0, accuracy=accuracy, hardware=hardware,
         tree=None,  # type: ignore[arg-type]
     )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere_dominates(self):
+        assert dominates((1.0, 2.0), (3.0, 4.0))
+
+    def test_better_on_one_axis_equal_on_the_other_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_tuples_do_not_dominate_each_other(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_dominates_neither_way(self):
+        assert not dominates((1.0, 4.0), (2.0, 3.0))
+        assert not dominates((2.0, 3.0), (1.0, 4.0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestNonDominatedIndices:
+    def test_empty_input_gives_empty_front(self):
+        assert non_dominated_indices([]) == []
+
+    def test_single_point_is_its_own_front(self):
+        assert non_dominated_indices([(3.0, 7.0)]) == [0]
+
+    def test_dominated_points_excluded_order_preserved(self):
+        points = [(2.0, 3.0), (1.0, 4.0), (2.0, 4.0), (0.0, 9.0)]
+        assert non_dominated_indices(points) == [0, 1, 3]
+
+    def test_duplicate_objective_tuples_are_all_retained(self):
+        # Equal tuples never dominate each other, so every copy survives --
+        # a study must keep every trial that achieved the optimal tradeoff.
+        points = [(1.0, 2.0), (1.0, 2.0), (0.0, 3.0), (1.0, 2.0)]
+        assert non_dominated_indices(points) == [0, 1, 2, 3]
+
+    def test_tie_on_one_axis_with_worse_other_axis_is_dominated(self):
+        points = [(0.0, 1.0), (0.0, 2.0)]
+        assert non_dominated_indices(points) == [0]
+
+    def test_non_dominated_ties_on_different_axes_all_survive(self):
+        points = [(0.0, 5.0), (5.0, 0.0), (0.0, 5.0)]
+        assert non_dominated_indices(points) == [0, 1, 2]
+
+    def test_three_objectives(self):
+        points = [(1.0, 1.0, 1.0), (1.0, 1.0, 2.0), (0.0, 2.0, 2.0)]
+        assert non_dominated_indices(points) == [0, 2]
 
 
 class TestParetoFront:

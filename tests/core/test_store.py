@@ -642,3 +642,70 @@ class TestArchives:
         assert store.get(good_key) == "good"
         assert len(store) == 1
         assert not (tmp_path / "escape.pkl").exists()
+
+
+class TestSearchStats:
+    def test_record_accumulates_and_flush_persists(self, store):
+        store.record_search_stats(from_cache=3, trained=2)
+        store.record_search_stats(trained=1)
+        assert store.lifetime_search_stats() == {"from_cache": 3, "trained": 3}
+        store.flush_stats()
+        # A fresh instance reads the counters back from _stats.json.
+        fresh = ResultStore(cache_dir=store.cache_dir)
+        assert fresh.lifetime_search_stats() == {"from_cache": 3, "trained": 3}
+
+    def test_reflush_adds_nothing(self, store):
+        store.record_search_stats(from_cache=2)
+        store.flush_stats()
+        store.flush_stats()
+        assert store.lifetime_search_stats() == {"from_cache": 2, "trained": 0}
+
+    def test_negative_counters_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.record_search_stats(from_cache=-1)
+        with pytest.raises(ValueError):
+            store.record_search_stats(trained=-1)
+
+    def test_zero_counters_leave_stats_file_without_search_section(self, store):
+        store.put(make_key(n=1), "x")
+        store.flush_stats()
+        raw = json.loads((store.cache_dir / "_stats.json").read_text())
+        assert "search" not in raw
+
+    def test_lifetime_search_stats_tolerate_corrupt_section(self, store):
+        store.record_search_stats(from_cache=1, trained=1)
+        store.flush_stats()
+        raw = json.loads((store.cache_dir / "_stats.json").read_text())
+        raw["search"] = {"from_cache": "garbage", "trained": None}
+        (store.cache_dir / "_stats.json").write_text(json.dumps(raw))
+        assert ResultStore(cache_dir=store.cache_dir).lifetime_search_stats() == {
+            "from_cache": 0,
+            "trained": 0,
+        }
+
+    def test_hit_miss_flush_preserves_search_section(self, store):
+        store.record_search_stats(trained=4)
+        store.flush_stats()
+        key = make_key(n=1)
+        store.get(key)          # miss
+        store.put(key, "x")     # store
+        store.flush_stats()     # rebuilds the payload; search must survive
+        fresh = ResultStore(cache_dir=store.cache_dir)
+        assert fresh.lifetime_search_stats() == {"from_cache": 0, "trained": 4}
+        assert fresh.lifetime_stats()["misses"] == 1
+
+    def test_merge_does_not_absorb_source_search_counters(self, store, tmp_path):
+        source = ResultStore(cache_dir=tmp_path / "source")
+        source.put(make_key(n="entry"), "payload")
+        source.record_search_stats(from_cache=5, trained=7)
+        source.flush_stats()
+        store.record_search_stats(trained=1)
+        store.merge_from(source)
+        store.flush_stats()
+        # Hit/miss counters absorb the source; search counters stay local,
+        # because "trained here" describes this store's own study history.
+        assert store.lifetime_search_stats() == {"from_cache": 0, "trained": 1}
+        assert ResultStore(cache_dir=store.cache_dir).lifetime_search_stats() == {
+            "from_cache": 0,
+            "trained": 1,
+        }

@@ -1,0 +1,188 @@
+"""Property-based tests for the multi-objective search primitives.
+
+The search subsystem's correctness rests on three pure functions:
+
+* :func:`repro.search.optimizer.non_dominated_sort` -- front 0 must be
+  *exactly* the brute-force non-dominated set (re-derived here from first
+  principles, independent of :mod:`repro.core.pareto`, so the test is an
+  oracle and not a tautology), and the successive fronts must partition
+  the input with every front-``k`` point dominated by front ``k-1``;
+* :func:`repro.search.optimizer.crowding_distance` -- boundary points are
+  always ``inf`` and distances are non-negative;
+* :func:`repro.search.optimizer.hypervolume` -- non-negative, monotone
+  under adding points, and invariant to dominated points (the property the
+  search-efficiency benchmark's ``hv_ratio`` depends on).
+
+Objective values are drawn from a small integer lattice on purpose:
+duplicates and single-axis ties -- the classic dominance edge cases --
+appear in nearly every example.  Hypothesis runs derandomized, so the
+suite is deterministic.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.optimizer import (
+    crowding_distance,
+    hypervolume,
+    non_dominated_sort,
+    pareto_rank_order,
+)
+
+objective_tuples = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4).map(float),
+        st.integers(min_value=0, max_value=4).map(float),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+objective_triples = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3).map(float),
+        st.integers(min_value=0, max_value=3).map(float),
+        st.integers(min_value=0, max_value=3).map(float),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _oracle_dominates(a, b) -> bool:
+    """First-principles minimize-tuple dominance (the test's oracle)."""
+    return all(x <= y for x, y in zip(a, b)) and a != b
+
+
+def _oracle_front(points) -> set:
+    return {
+        i
+        for i, p in enumerate(points)
+        if not any(_oracle_dominates(q, p) for j, q in enumerate(points) if j != i)
+    }
+
+
+class TestNonDominatedSort:
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_front_zero_is_exactly_the_brute_force_set(self, points):
+        assert set(non_dominated_sort(points)[0]) == _oracle_front(points)
+
+    @given(objective_triples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_front_zero_matches_oracle_in_three_objectives(self, points):
+        assert set(non_dominated_sort(points)[0]) == _oracle_front(points)
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_fronts_partition_the_input(self, points):
+        fronts = non_dominated_sort(points)
+        flat = [i for front in fronts for i in front]
+        assert sorted(flat) == list(range(len(points)))
+        assert all(front for front in fronts)  # no empty fronts
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_every_later_front_point_is_dominated_by_the_previous_front(
+        self, points
+    ):
+        fronts = non_dominated_sort(points)
+        for previous, front in zip(fronts, fronts[1:]):
+            for i in front:
+                assert any(
+                    _oracle_dominates(points[j], points[i]) for j in previous
+                )
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_no_point_dominates_a_peer_within_its_front(self, points):
+        for front in non_dominated_sort(points):
+            members = [points[i] for i in front]
+            for a in members:
+                assert not any(
+                    _oracle_dominates(a, b) for b in members if b is not a
+                )
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_rank_order_is_a_permutation(self, points):
+        order = pareto_rank_order(points)
+        assert sorted(order) == list(range(len(points)))
+
+
+class TestCrowdingDistance:
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_distances_are_nonnegative_and_match_length(self, points):
+        distances = crowding_distance(points)
+        assert len(distances) == len(points)
+        assert all(d >= 0.0 for d in distances)
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_each_objective_extreme_is_held_by_an_infinite_point(self, points):
+        # With duplicated extremes only one copy is the boundary point, so
+        # the guarantee is existential: *some* attainer of each per-axis
+        # extreme always survives selection with infinite distance.
+        distances = crowding_distance(points)
+        for axis in range(2):
+            values = [p[axis] for p in points]
+            for extreme in (min(values), max(values)):
+                assert any(
+                    distances[i] == math.inf
+                    for i, p in enumerate(points)
+                    if p[axis] == extreme
+                )
+
+
+class TestHypervolume:
+    REFERENCE = (5.0, 5.0)
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_nonnegative_and_bounded_by_the_reference_box(self, points):
+        hv = hypervolume(points, self.REFERENCE)
+        assert 0.0 <= hv <= 25.0
+
+    @given(objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_dominated_points_contribute_nothing(self, points):
+        hv = hypervolume(points, self.REFERENCE)
+        front = [points[i] for i in sorted(_oracle_front(points))]
+        assert hypervolume(front, self.REFERENCE) == hv
+
+    @given(objective_tuples, st.tuples(st.just(0.0), st.just(0.0)))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_adding_the_ideal_point_fills_the_box(self, points, ideal):
+        assert hypervolume(points + [ideal], self.REFERENCE) == 25.0
+
+    @given(objective_tuples, objective_tuples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_monotone_under_adding_points(self, points, extra):
+        assert (
+            hypervolume(points + extra, self.REFERENCE)
+            >= hypervolume(points, self.REFERENCE)
+        )
+
+    @given(objective_triples)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_recursive_3d_agrees_with_inclusion_exclusion_montecarlo_free_oracle(
+        self, points
+    ):
+        # Exact 3-D oracle by unit-cell counting on the integer lattice: the
+        # dominated region of minimize-points within [0, 4)^3 is a union of
+        # unit cells, so counting cells is exact -- no sampling error.
+        reference = (4.0, 4.0, 4.0)
+        cells = sum(
+            1
+            for x in range(4)
+            for y in range(4)
+            for z in range(4)
+            if any(
+                p[0] <= x and p[1] <= y and p[2] <= z
+                for p in points
+            )
+        )
+        assert hypervolume(points, reference) == float(cells)

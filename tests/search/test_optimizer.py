@@ -1,0 +1,174 @@
+"""Unit tests for the NSGA-II primitives and the Pareto-TPE sampler."""
+
+import math
+
+import pytest
+
+from repro.search.optimizer import (
+    ParetoTPESampler,
+    crowding_distance,
+    hypervolume,
+    non_dominated_sort,
+    pareto_rank_order,
+)
+from repro.search.space import (
+    CategoricalDimension,
+    FloatDimension,
+    IntDimension,
+    SearchSpace,
+)
+
+
+def tiny_space() -> SearchSpace:
+    """A 12-configuration space the sampler can exhaust within a test."""
+    return SearchSpace(
+        (
+            IntDimension("depth", 2, 4),
+            FloatDimension("tau", 0.0, 0.01, step=0.01),
+            CategoricalDimension("bits", (4, 5)),
+        )
+    )
+
+
+class TestNonDominatedSort:
+    def test_peels_three_staircase_fronts(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (0.0, 1.0), (1.0, 0.0)]
+        assert non_dominated_sort(points) == [[0], [3, 4], [1], [2]]
+
+    def test_all_tradeoffs_form_one_front(self):
+        points = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+        assert non_dominated_sort(points) == [[0, 1, 2]]
+
+    def test_empty_input(self):
+        assert non_dominated_sort([]) == []
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite_interior_normalized(self):
+        distances = crowding_distance([(0.0, 4.0), (1.0, 2.0), (4.0, 0.0)])
+        assert distances[0] == math.inf
+        assert distances[2] == math.inf
+        # interior point: its neighbors span the whole range on both axes,
+        # so each normalized side length is 1.
+        assert distances[1] == pytest.approx(2.0)
+
+    def test_degenerate_identical_points(self):
+        # Stable sort makes the first and last input the boundary points;
+        # the zero span leaves the interior duplicate at distance 0.
+        distances = crowding_distance([(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)])
+        assert distances == [math.inf, 0.0, math.inf]
+
+    def test_empty_front(self):
+        assert crowding_distance([]) == []
+
+
+class TestHypervolume:
+    def test_exact_two_dimensional_staircase(self):
+        points = [(1.0, 2.0), (2.0, 1.0)]
+        # (3-1)*(3-2) + (3-2)*(3-1) = 2 + 2, minus double-counted (2,2)
+        # corner box 1x1 -> the sweep yields exactly 3.
+        assert hypervolume(points, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_exact_three_dimensional_unit_cube(self):
+        assert hypervolume([(0.0, 0.0, 0.0)], (1.0, 1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_points_at_or_beyond_the_reference_contribute_nothing(self):
+        assert hypervolume([(3.0, 0.0), (0.0, 3.0)], (3.0, 3.0)) == 0.0
+        assert hypervolume([], (3.0, 3.0)) == 0.0
+
+    def test_duplicates_do_not_double_count(self):
+        single = hypervolume([(1.0, 1.0)], (3.0, 3.0))
+        assert hypervolume([(1.0, 1.0), (1.0, 1.0)], (3.0, 3.0)) == single
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="objectives"):
+            hypervolume([(1.0, 1.0, 1.0)], (3.0, 3.0))
+
+
+class TestParetoRankOrder:
+    def test_front_rank_dominates_crowding(self):
+        points = [(2.0, 2.0), (0.0, 1.0), (1.0, 0.0)]
+        order = pareto_rank_order(points)
+        assert set(order[:2]) == {1, 2}
+        assert order[2] == 0
+
+    def test_deterministic_on_ties(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]
+        assert pareto_rank_order(points) == pareto_rank_order(points)
+
+
+class TestParetoTPESampler:
+    def test_same_seed_same_trajectory(self):
+        def run():
+            sampler = ParetoTPESampler(tiny_space(), seed=7, n_startup_trials=2)
+            history = []
+            for objectives in [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1), (0.2, 0.8)]:
+                batch = sampler.ask(1)
+                history.append(batch)
+                sampler.tell(batch[0], objectives)
+            return history
+
+        assert run() == run()
+
+    def test_never_suggests_a_configuration_twice(self):
+        space = tiny_space()
+        sampler = ParetoTPESampler(space, seed=0, n_startup_trials=2)
+        seen = set()
+        for round_number in range(12):
+            for config in sampler.ask(1):
+                config_id = space.config_id(config)
+                assert config_id not in seen
+                seen.add(config_id)
+                sampler.tell(config, (float(round_number), -float(round_number)))
+
+    def test_exhausts_a_finite_space_then_returns_empty(self):
+        space = tiny_space()
+        sampler = ParetoTPESampler(space, seed=3, n_startup_trials=2)
+        suggested = sampler.ask(space.cardinality + 5)
+        assert len(suggested) == space.cardinality
+        ids = {space.config_id(c) for c in suggested}
+        assert len(ids) == space.cardinality
+        assert sampler.ask(1) == []
+
+    def test_model_proposals_stay_on_the_canonical_grid(self):
+        space = tiny_space()
+        sampler = ParetoTPESampler(space, seed=1, n_startup_trials=2)
+        valid = {space.config_id(c) for c in space.enumerate()}
+        for objectives in [(0.0, 1.0), (1.0, 0.0), (0.5, 0.5)]:
+            [config] = sampler.ask(1)
+            sampler.tell(config, objectives)
+        # Startup is over: these asks go through the TPE model.
+        assert sampler.n_observed == 3
+        for config in sampler.ask(4):
+            assert space.config_id(config) in valid
+
+    def test_tell_accepts_untold_external_trials(self):
+        # Warm-starting: a study may tell results the sampler never asked.
+        space = tiny_space()
+        sampler = ParetoTPESampler(space, seed=0)
+        config = {"depth": 2, "tau": 0.0, "bits": 4}
+        sampler.tell(config, (0.5, 0.5))
+        assert sampler.n_observed == 1
+        # The told configuration is also deduped out of later asks.
+        ids = {space.config_id(c) for c in sampler.ask(space.cardinality)}
+        assert space.config_id(config) not in ids
+
+    def test_ask_zero_and_negative(self):
+        sampler = ParetoTPESampler(tiny_space(), seed=0)
+        assert sampler.ask(0) == []
+        with pytest.raises(ValueError):
+            sampler.ask(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_startup_trials": 0},
+            {"n_candidates": 0},
+            {"gamma": 0.0},
+            {"gamma": 1.0},
+            {"bandwidth": 0.0},
+        ],
+    )
+    def test_invalid_hyperparameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ParetoTPESampler(tiny_space(), seed=0, **kwargs)

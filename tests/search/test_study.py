@@ -1,0 +1,242 @@
+"""Tests for the budgeted study: caching layers, determinism, parallelism.
+
+The expensive guarantees (hypervolume vs. the exhaustive grid, >= 5x fewer
+trained trees) live in ``benchmarks/bench_search_efficiency.py``; here the
+studies are kept tiny (small budgets on the smallest benchmark) and assert
+the *structural* contracts: bit-reproducible records, serial == parallel,
+warm-starts through every cache layer, and the store's search accounting.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.experiments import run_search_study
+from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS, grid_points
+from repro.core.metrics import HardwareReport
+from repro.core.sharding import suite_result_key
+from repro.core.store import ResultStore
+from repro.search import Study, parse_objectives
+from repro.search.space import (
+    CategoricalDimension,
+    FloatDimension,
+    IntDimension,
+    SearchSpace,
+)
+
+#: Small space on the suite grid: shallow depths keep training sub-second.
+SMALL_SPACE_DIMS = (
+    IntDimension("depth", 2, 3),
+    FloatDimension("tau", 0.0, 0.01, step=0.005),
+    CategoricalDimension("resolution_bits", (4,)),
+    CategoricalDimension("technology", ("default",)),
+    CategoricalDimension("training_sigma", (0.0,)),
+    CategoricalDimension("robustness_weight", (1.0,)),
+)
+
+
+def small_space() -> SearchSpace:
+    return SearchSpace(SMALL_SPACE_DIMS)
+
+
+class TestParseObjectives:
+    def test_leading_minus_maximizes(self):
+        acc, power = parse_objectives(("-accuracy", "power"))
+        assert (acc.metric, acc.sign, acc.spec) == ("accuracy", -1.0, "-accuracy")
+        assert (power.metric, power.sign) == ("power", 1.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            parse_objectives(("-accuracy", "latency"))
+
+    def test_single_objective_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            parse_objectives(("power",))
+
+    def test_duplicate_metrics_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            parse_objectives(("-accuracy", "accuracy"))
+
+
+class TestStudyValidation:
+    def test_mean_accuracy_drop_requires_sigma(self, tmp_path):
+        with pytest.raises(ValueError, match="sigma_v"):
+            Study(
+                "seeds",
+                objectives=("-accuracy", "mean_accuracy_drop"),
+                store=ResultStore(tmp_path),
+            )
+
+    def test_negative_budget_rejected(self, tmp_path):
+        study = Study("seeds", space=small_space(), store=ResultStore(tmp_path))
+        with pytest.raises(ValueError, match="budget"):
+            study.run(budget=-1)
+
+    def test_zero_batch_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="batch_size"):
+            Study("seeds", batch_size=0, store=ResultStore(tmp_path))
+
+    def test_zero_budget_yields_empty_study(self, tmp_path):
+        study = Study("seeds", space=small_space(), store=ResultStore(tmp_path))
+        result = study.run(budget=0)
+        assert result.trials == ()
+        assert result.front_numbers == ()
+
+
+class TestStudyDeterminism:
+    def test_same_seed_is_bit_reproducible(self, tmp_path):
+        results = [
+            run_search_study(
+                "seeds",
+                budget=4,
+                seed=3,
+                space=small_space(),
+                store=ResultStore(tmp_path / f"store{i}"),
+                batch_size=2,
+            )
+            for i in range(2)
+        ]
+        assert results[0].to_json() == results[1].to_json()
+
+    def test_different_seeds_differ(self, tmp_path):
+        records = [
+            run_search_study(
+                "seeds",
+                budget=4,
+                seed=seed,
+                space=small_space(),
+                store=ResultStore(tmp_path / f"seed{seed}"),
+                batch_size=2,
+            ).to_json_dict()
+            for seed in (0, 1)
+        ]
+        assert [t["config"] for t in records[0]["trials"]] != [
+            t["config"] for t in records[1]["trials"]
+        ]
+
+    def test_serial_and_parallel_records_are_identical(self, tmp_path):
+        kwargs = dict(budget=4, seed=0, batch_size=2)
+        serial = run_search_study(
+            "seeds", space=small_space(),
+            store=ResultStore(tmp_path / "serial"), jobs=None, **kwargs,
+        )
+        parallel = run_search_study(
+            "seeds", space=small_space(),
+            store=ResultStore(tmp_path / "parallel"), jobs=2, **kwargs,
+        )
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestCacheLayers:
+    def test_second_study_warm_starts_from_trial_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kwargs = dict(budget=4, seed=0, space=small_space(), batch_size=2)
+        cold = run_search_study("seeds", store=store, **kwargs)
+        assert cold.n_trained == 4 and cold.n_from_cache == 0
+        warm = run_search_study("seeds", store=store, **kwargs)
+        assert warm.n_trained == 0 and warm.n_from_cache == 4
+        # Identical measurements through either path.
+        for a, b in zip(cold.trials, warm.trials):
+            assert a.config == b.config
+            assert a.objectives == b.objectives
+            assert a.store_key == b.store_key
+
+    def test_search_stats_recorded_on_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kwargs = dict(budget=3, seed=0, space=small_space(), batch_size=3)
+        run_search_study("seeds", store=store, **kwargs)
+        run_search_study("seeds", store=store, **kwargs)
+        # Counters persist: a fresh instance reads them from _stats.json.
+        stats = ResultStore(tmp_path).lifetime_search_stats()
+        assert stats == {"from_cache": 3, "trained": 3}
+
+    def test_no_cache_study_trains_everything_and_stores_nothing(self, tmp_path):
+        result = run_search_study(
+            "seeds",
+            budget=3,
+            seed=0,
+            space=small_space(),
+            use_cache=False,
+            cache_dir=tmp_path,  # must be ignored entirely
+            batch_size=3,
+        )
+        assert result.n_trained == 3
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_on_grid_trials_extract_from_a_cached_suite_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = grid_points(DEFAULT_DEPTHS, DEFAULT_TAUS)
+        sentinel_accuracy = 0.4242
+        hardware = HardwareReport(
+            name="sentinel", adc_area_mm2=1.0, adc_power_uw=2.0,
+            digital_area_mm2=3.0, digital_power_uw=4.0,
+            n_inputs=2, n_tree_comparators=1, n_adc_comparators=3,
+        )
+        fake_suite = SimpleNamespace(
+            exploration=[
+                SimpleNamespace(accuracy=sentinel_accuracy + i * 1e-4, hardware=hardware)
+                for i in range(len(grid))
+            ]
+        )
+        store.put(
+            suite_result_key(
+                "seeds", 0, False, DEFAULT_DEPTHS, DEFAULT_TAUS,
+                training_sigma=0.0, robustness_weight=0.0,
+            ),
+            fake_suite,
+        )
+
+        class StubSampler:
+            """Asks exactly one fixed on-grid configuration."""
+
+            def __init__(self, config):
+                self.config = config
+                self.asked = False
+
+            def ask(self, n):
+                if self.asked:
+                    return []
+                self.asked = True
+                return [dict(self.config)]
+
+            def tell(self, config, objectives):
+                pass
+
+        config = {
+            "depth": 5, "tau": 0.01, "resolution_bits": 4,
+            "technology": "default", "training_sigma": 0.0,
+            "robustness_weight": 1.0,
+        }
+        study = Study("seeds", store=store, sampler=StubSampler(config))
+        result = study.run(budget=1)
+        [trial] = result.trials
+        index = grid.index((5, 0.01))
+        assert trial.from_cache
+        assert trial.accuracy == pytest.approx(sentinel_accuracy + index * 1e-4)
+        assert trial.power_uw == pytest.approx(hardware.total_power_uw)
+        # The extraction was written through under the trial key, so the
+        # next study hits layer 1 without touching the suite entry.
+        assert store.get(study.trial_key(config))["accuracy"] == trial.accuracy
+
+
+class TestStudyResultShape:
+    def test_record_fields_and_front_property(self, tmp_path):
+        result = run_search_study(
+            "seeds",
+            budget=4,
+            seed=0,
+            space=small_space(),
+            store=ResultStore(tmp_path),
+            batch_size=2,
+        )
+        record = json.loads(result.to_json())
+        assert record["schema_version"] == 1
+        assert record["kind"] == "search_study"
+        assert record["n_trials"] == len(record["trials"]) == 4
+        assert set(record["front"]) <= {t["number"] for t in record["trials"]}
+        front = result.front
+        assert [t.number for t in front] == list(result.front_numbers)
+        # Front is sorted by objective tuple and mutually non-dominating.
+        objectives = [t.objectives for t in front]
+        assert objectives == sorted(objectives)
