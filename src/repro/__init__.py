@@ -42,7 +42,7 @@ from repro.core import (
 from repro.datasets import Dataset, dataset_names, load_dataset
 from repro.pdk import EGFETTechnology, default_technology
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ADCAwareTrainer",

@@ -12,17 +12,22 @@ from repro.analysis.render import render_table
 from repro.analysis.figures import fig3_series, fig4_series, fig5_series
 from repro.analysis.tables import (
     exploration_rows,
+    robustness_surface_rows,
+    robustness_surface_summary,
     table1_rows,
     table2_robust_rows,
     table2_rows,
 )
 from repro.analysis.experiments import (
     RobustExploration,
+    RobustnessSurface,
     ShardRunReport,
+    SurfaceCell,
     default_store,
     run_benchmark_suite,
     run_plan_shard,
     run_robust_exploration,
+    run_robustness_surface,
     run_variation_analysis,
     suite_result_key,
     variation_result_key,
@@ -30,6 +35,7 @@ from repro.analysis.experiments import (
 from repro.analysis.export import (
     results_to_json,
     robust_exploration_to_json,
+    robustness_surface_to_json,
     rows_to_csv,
 )
 from repro.analysis.stats import MultiSeedSummary, run_multi_seed
@@ -46,15 +52,21 @@ __all__ = [
     "run_benchmark_suite",
     "run_variation_analysis",
     "run_robust_exploration",
+    "run_robustness_surface",
+    "robustness_surface_rows",
+    "robustness_surface_summary",
     "run_plan_shard",
     "ShardRunReport",
     "RobustExploration",
+    "RobustnessSurface",
+    "SurfaceCell",
     "default_store",
     "suite_result_key",
     "variation_result_key",
     "rows_to_csv",
     "results_to_json",
     "robust_exploration_to_json",
+    "robustness_surface_to_json",
     "run_multi_seed",
     "MultiSeedSummary",
 ]

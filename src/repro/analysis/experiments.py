@@ -54,18 +54,22 @@ from repro.core.exploration import (
     DEFAULT_DEPTHS,
     DEFAULT_TAUS,
     DesignPoint,
+    grid_points,
     select_best_design,
 )
 from repro.core.sharding import (
     MissingResultsError,
     ShardSpec,
     SuitePlan,
+    normalize_sigmas,
     suite_result_key,
     suite_work_unit,
+    variation_work_unit,
 )
 from repro.core.store import ResultStore
 from repro.core.variation import (
     VariationAnalysis,
+    canonical_training_knobs,
     simulate_offset_variation,
     variation_result_key,
 )
@@ -344,25 +348,51 @@ def run_benchmark_suite(
 
 
 @lru_cache(maxsize=8)
-def _variation_classifier(dataset: str, seed: int, depth: int, tau: float):
+def _variation_classifier(
+    dataset: str,
+    seed: int,
+    depth: int,
+    tau: float,
+    resolution_bits: int = 4,
+    test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+):
     """Train-once memo behind the per-sigma variation sweep.
 
     A sigma sweep caches one :class:`VariationAnalysis` per sigma, but the
-    classifier under test depends only on ``(dataset, seed, depth, tau)`` --
-    training it once per configuration keeps a cold 5-sigma sweep from
-    paying the same fit five times.  Everything is seeded, so the memo never
-    changes results.
+    classifier under test depends only on the (dataset, seed, depth, tau,
+    training) configuration -- training it once per configuration keeps a
+    cold 5-sigma sweep from paying the same fit five times.  Training
+    mirrors :func:`_variation_unit_job` /
+    :meth:`~repro.core.exploration.DesignSpaceExplorer.evaluate_point`
+    exactly (same trainer arguments, same volts-normalized training sigma),
+    so the classifier under test is bit-identical to the one a sharded or
+    exploration run would have simulated.  Everything is seeded, so the
+    memo never changes results.  Callers pass *canonical* training knobs
+    (:func:`~repro.core.variation.canonical_training_knobs`), so inert
+    spellings alias one memo entry.
     """
     from repro.core.adc_aware_training import ADCAwareTrainer
     from repro.mltrees.evaluation import train_test_split
     from repro.mltrees.quantize import quantize_dataset
+    from repro.pdk.egfet import default_technology
 
+    technology = default_technology()
     data = load_dataset(dataset, seed=seed)
     X_train, X_test, y_train, y_test = train_test_split(
-        data.X, data.y, test_size=0.3, seed=seed
+        data.X, data.y, test_size=test_size, seed=seed
     )
-    tree = ADCAwareTrainer(max_depth=depth, gini_threshold=tau, seed=seed).fit(
-        quantize_dataset(X_train), y_train, data.n_classes
+    trainer = ADCAwareTrainer(
+        max_depth=depth,
+        gini_threshold=tau,
+        resolution_bits=resolution_bits,
+        seed=seed,
+        training_sigma=training_sigma / technology.vdd,
+        robustness_weight=(robustness_weight if training_sigma > 0 else 0.0),
+    )
+    tree = trainer.fit(
+        quantize_dataset(X_train, resolution_bits), y_train, data.n_classes
     )
     return tree, X_test, y_test
 
@@ -378,21 +408,38 @@ def run_variation_analysis(
     cache_dir: str | Path | None = None,
     store: ResultStore | None = None,
     use_cache: bool = True,
+    resolution_bits: int = 4,
+    test_size: float = 0.3,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
 ) -> VariationAnalysis:
     """Monte-Carlo comparator-offset robustness of one co-designed benchmark.
 
     Trains the ADC-aware tree (``depth`` x ``tau``) on the paper's 70/30
     split of ``dataset`` and Monte-Carlo-simulates its test accuracy under
     Gaussian comparator offsets.  Per-seed summaries are cached in the
-    content-addressed :class:`~repro.core.store.ResultStore`, so repeated
-    robustness sweeps -- CLI invocations, CI jobs -- pay the simulation once
-    per ``(dataset, seed, sigma, trials, depth, tau)`` configuration; trial
-    batches fan out across ``jobs`` worker processes with bit-identical
-    results.
+    content-addressed :class:`~repro.core.store.ResultStore` under the full
+    :func:`~repro.core.variation.variation_result_key` -- every knob the key
+    supports (``resolution_bits``, ``test_size``, ``training_sigma``,
+    ``robustness_weight``) participates, so this entry point addresses the
+    exact entries that sharded suite runs, ``explore`` and the search
+    warm-start write: nominal requests keep their historical keys, and
+    offset-aware requests share cache warmth instead of silently training a
+    nominal tree.  Trial batches fan out across ``jobs`` worker processes
+    with bit-identical results.
     """
+    from repro.pdk.egfet import default_technology
+
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
-    key = variation_result_key(dataset, seed, sigma_v, n_trials, depth, tau)
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    key = variation_result_key(
+        dataset, seed, sigma_v, n_trials, depth, tau, resolution_bits,
+        test_size=test_size,
+        training_sigma=training_sigma, robustness_weight=robustness_weight,
+    )
     if use_cache and store is not None:
         cached = store.get(key)
         if cached is not None:
@@ -400,10 +447,13 @@ def run_variation_analysis(
             return cached
 
     tree, X_test, y_test = _variation_classifier(
-        canonical_name(dataset), seed, depth, tau
+        canonical_name(dataset), seed, depth, tau,
+        resolution_bits=resolution_bits, test_size=test_size,
+        training_sigma=training_sigma, robustness_weight=robustness_weight,
     )
     analysis = simulate_offset_variation(
-        tree, X_test, y_test, sigma_v, n_trials=n_trials, seed=seed, jobs=jobs
+        tree, X_test, y_test, sigma_v, n_trials=n_trials,
+        technology=default_technology(), seed=seed, jobs=jobs,
     )
     if use_cache and store is not None:
         store.put(key, analysis)
@@ -533,6 +583,231 @@ def run_robust_exploration(
 
 
 # ---------------------------------------------------------------------- #
+# multi-sigma robustness surface (repro.cli surface)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SurfaceCell:
+    """One (sigma, depth, tau) point of a robustness surface.
+
+    The Monte-Carlo summary numbers of the
+    :class:`~repro.core.variation.VariationAnalysis` cached under the
+    point's variation key, flattened to primitives so a surface record
+    serializes without pickling trees.
+    """
+
+    sigma_v: float
+    depth: int
+    tau: float
+    nominal_accuracy: float
+    mean_accuracy: float
+    std_accuracy: float
+    min_accuracy: float
+    mean_accuracy_drop: float
+    worst_case_drop: float
+
+
+@dataclass(frozen=True)
+class RobustnessSurface:
+    """The full (sigma x depth x tau) robustness surface of one benchmark.
+
+    Produced by :func:`run_robustness_surface`.  ``cells`` is ordered
+    sigma-ascending outer, the grid in the depth-major order of
+    :func:`~repro.core.exploration.grid_points` inner -- the exact order a
+    multi-sigma :func:`~repro.core.sharding.plan_suite_units` plan
+    enumerates the benchmark's variation units in.
+    """
+
+    dataset: str
+    seed: int
+    n_trials: int
+    sigmas: tuple[float, ...]
+    depths: tuple[int, ...]
+    taus: tuple[float, ...]
+    training_sigma: float
+    robustness_weight: float
+    baseline_accuracy: float
+    cells: tuple[SurfaceCell, ...]
+
+    def cell(self, sigma_v: float, depth: int, tau: float) -> SurfaceCell:
+        """The cell at one (sigma, depth, tau) coordinate (KeyError if absent)."""
+        for cell in self.cells:
+            if (
+                cell.sigma_v == float(sigma_v)
+                and cell.depth == int(depth)
+                and cell.tau == float(tau)
+            ):
+                return cell
+        raise KeyError(f"no surface cell at sigma={sigma_v:g}, d={depth}, tau={tau:g}")
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable record (stable schema, consumed by renderers)."""
+        return {
+            "schema_version": 1,
+            "kind": "robustness_surface",
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "n_trials": self.n_trials,
+            "sigmas": list(self.sigmas),
+            "depths": list(self.depths),
+            "taus": list(self.taus),
+            "training_sigma": self.training_sigma,
+            "robustness_weight": self.robustness_weight,
+            "baseline_accuracy": self.baseline_accuracy,
+            "cells": [
+                {
+                    "sigma_v": cell.sigma_v,
+                    "depth": cell.depth,
+                    "tau": cell.tau,
+                    "nominal_accuracy": cell.nominal_accuracy,
+                    "mean_accuracy": cell.mean_accuracy,
+                    "std_accuracy": cell.std_accuracy,
+                    "min_accuracy": cell.min_accuracy,
+                    "mean_accuracy_drop": cell.mean_accuracy_drop,
+                    "worst_case_drop": cell.worst_case_drop,
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def run_robustness_surface(
+    dataset: str,
+    sigmas,
+    n_trials: int = 100,
+    seed: int = 0,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    taus: tuple[float, ...] = DEFAULT_TAUS,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    store: ResultStore | None = None,
+    use_cache: bool = True,
+    training_sigma: float = 0.0,
+    robustness_weight: float = 1.0,
+    cache_only: bool = False,
+    engine: str = "batch",
+) -> RobustnessSurface:
+    """Map the (sigma x depth x tau) robustness surface of one benchmark.
+
+    The sweep-level composition of the per-point variation cache: for every
+    sigma in ``sigmas`` (canonicalized by
+    :func:`~repro.core.sharding.normalize_sigmas`) and every grid point, one
+    :class:`~repro.core.variation.VariationAnalysis` is resolved under the
+    exact key a multi-sigma suite plan computes
+    (:func:`~repro.core.sharding.variation_work_unit`), and the nominal
+    baseline comes from the per-dataset suite cache.  Points absent from the
+    store fan out through the executor as self-contained
+    :func:`_variation_unit_job` tasks -- unless ``cache_only`` is set, the
+    strict assemble discipline: *never* compute, raise
+    :class:`~repro.core.sharding.MissingResultsError` listing every missing
+    unit label and key.  On a store assembled from a multi-sigma sharded run
+    the whole surface therefore renders from cache hits only, and the
+    per-sigma entries it resolves are the same ones a
+    ``mean_accuracy_drop`` search study probes for its warm start.
+    """
+    if cache_only and not use_cache:
+        raise ValueError("cache_only requires use_cache=True")
+    name = canonical_name(dataset)
+    sigma_values = normalize_sigmas(sigmas)
+    if not sigma_values:
+        raise ValueError("at least one sigma is required")
+    training_sigma, robustness_weight = canonical_training_knobs(
+        training_sigma, robustness_weight
+    )
+    (result,) = run_benchmark_suite(
+        datasets=(name,),
+        seed=seed,
+        include_approximate_baseline=False,
+        depths=depths,
+        taus=taus,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        store=store,
+        use_cache=use_cache,
+        training_sigma=training_sigma,
+        robustness_weight=robustness_weight,
+        cache_only=cache_only,
+        engine=engine,
+    )
+    if use_cache and store is None:
+        store = ResultStore(cache_dir) if cache_dir is not None else default_store()
+
+    units = [
+        variation_work_unit(
+            name, seed, sigma, n_trials, depth, tau,
+            training_sigma=training_sigma, robustness_weight=robustness_weight,
+        )
+        for sigma in sigma_values
+        for depth, tau in grid_points(depths, taus)
+    ]
+    analyses: dict[str, VariationAnalysis] = {}
+    pending = []
+    for unit in units:
+        cached = store.get(unit.store_key) if use_cache and store is not None else None
+        if cached is not None:
+            analyses[unit.store_key] = cached
+        else:
+            pending.append(unit)
+    if pending and cache_only:
+        store.flush_stats()
+        raise MissingResultsError(
+            [(unit.label, unit.store_key) for unit in pending]
+        )
+    if pending:
+        tasks = [
+            (
+                unit.dataset,
+                seed,
+                unit.params["sigma_v"],
+                unit.params["n_trials"],
+                unit.params["depth"],
+                unit.params["tau"],
+                unit.params["resolution_bits"],
+                unit.params["test_size"],
+                unit.params["training_sigma"],
+                unit.params["robustness_weight"],
+            )
+            for unit in pending
+        ]
+        with get_executor(jobs) as executor:
+            computed = executor.map(_variation_unit_job, tasks)
+        for unit, analysis in zip(pending, computed):
+            if use_cache and store is not None:
+                store.put(unit.store_key, analysis)
+            analyses[unit.store_key] = analysis
+    if use_cache and store is not None:
+        store.flush_stats()
+
+    cells = []
+    for unit in units:
+        analysis = analyses[unit.store_key]
+        cells.append(
+            SurfaceCell(
+                sigma_v=unit.params["sigma_v"],
+                depth=unit.params["depth"],
+                tau=unit.params["tau"],
+                nominal_accuracy=analysis.nominal_accuracy,
+                mean_accuracy=analysis.mean_accuracy,
+                std_accuracy=analysis.std_accuracy,
+                min_accuracy=analysis.min_accuracy,
+                mean_accuracy_drop=analysis.mean_accuracy_drop,
+                worst_case_drop=analysis.worst_case_drop,
+            )
+        )
+    return RobustnessSurface(
+        dataset=result.dataset,
+        seed=int(seed),
+        n_trials=int(n_trials),
+        sigmas=sigma_values,
+        depths=tuple(depths),
+        taus=tuple(taus),
+        training_sigma=float(training_sigma),
+        robustness_weight=float(robustness_weight),
+        baseline_accuracy=result.baseline.accuracy,
+        cells=tuple(cells),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # budgeted design-space search (repro.cli search)
 # ---------------------------------------------------------------------- #
 def run_search_study(
@@ -548,6 +823,7 @@ def run_search_study(
     store: ResultStore | None = None,
     use_cache: bool = True,
     batch_size: int = 4,
+    cache_only: bool = False,
 ):
     """Run one budgeted multi-objective study (see :mod:`repro.search`).
 
@@ -558,7 +834,9 @@ def run_search_study(
     grid warm-start from cached suite sweeps, robustness objectives share
     the ``variation`` Monte-Carlo pool -- and returns the
     :class:`~repro.search.study.StudyResult`.  Seeded studies are
-    bit-reproducible and independent of ``jobs``.
+    bit-reproducible and independent of ``jobs``.  ``cache_only`` applies
+    the strict assemble discipline: a trial that would have to train
+    raises :class:`~repro.core.sharding.MissingResultsError` instead.
     """
     # Deferred: keeps repro.search out of module import time (layering:
     # analysis orchestrates, search stays importable on its own).
@@ -578,6 +856,7 @@ def run_search_study(
         store=store,
         use_cache=use_cache,
         batch_size=batch_size,
+        cache_only=cache_only,
     )
     return study.run(budget=budget, jobs=jobs)
 

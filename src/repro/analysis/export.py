@@ -144,6 +144,39 @@ def robust_exploration_to_json(exploration, path: str | Path,
     return path
 
 
+def robustness_surface_to_json(surfaces, path: str | Path) -> Path:
+    """Write robustness surface(s) to one JSON report file.
+
+    ``surfaces`` is one
+    :class:`~repro.analysis.experiments.RobustnessSurface` or a sequence of
+    them.  The report wraps each surface's ``to_json_dict()`` record with
+    its per-sigma summary (see
+    :func:`~repro.analysis.tables.robustness_surface_summary`), keyed and
+    sorted deterministically so CI artifacts diff cleanly.
+    """
+    from repro.analysis.tables import robustness_surface_summary
+
+    if not isinstance(surfaces, Sequence):
+        surfaces = [surfaces]
+    surfaces = list(surfaces)
+    if not surfaces:
+        raise ValueError("cannot export an empty surface list")
+    path = Path(path)
+    payload = {
+        "schema_version": 1,
+        "kind": "robustness_surface_report",
+        "surfaces": [
+            {
+                **surface.to_json_dict(),
+                "summary": robustness_surface_summary(surface),
+            }
+            for surface in surfaces
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def results_to_json(
     results: Sequence[CoDesignResult],
     path: str | Path,

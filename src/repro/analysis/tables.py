@@ -164,14 +164,19 @@ def table2_robust_rows(
 
 
 def table2_robust_summary(rows: list[dict]) -> dict:
-    """Averages over the feasible rows of the offset-aware Table II."""
+    """Averages over the feasible rows of the offset-aware Table II.
+
+    With zero feasible rows the averages are ``None`` -- "no feasible
+    design" is not the same claim as "the feasible designs average zero
+    power", and renderers spell the difference out as ``n/a``.
+    """
     feasible = [row for row in rows if row["feasible"]]
     if not feasible:
         return {
             "n_feasible": 0,
-            "average_power_mw": 0.0,
-            "average_area_mm2": 0.0,
-            "average_mean_accuracy_drop_pct": 0.0,
+            "average_power_mw": None,
+            "average_area_mm2": None,
+            "average_mean_accuracy_drop_pct": None,
         }
     return {
         "n_feasible": len(feasible),
@@ -181,6 +186,56 @@ def table2_robust_summary(rows: list[dict]) -> dict:
             r["mean_accuracy_drop_pct"] for r in feasible
         ),
     }
+
+
+def robustness_surface_rows(surface) -> list[dict]:
+    """One row per (depth, tau) grid point of a robustness surface.
+
+    Produced from a
+    :class:`~repro.analysis.experiments.RobustnessSurface`: the nominal
+    (zero-offset) accuracy of the point's tree plus one mean-accuracy-drop
+    column per sigma, in the surface's ascending sigma order.
+    """
+    rows = []
+    for depth in surface.depths:
+        for tau in surface.taus:
+            cells = [surface.cell(sigma, depth, tau) for sigma in surface.sigmas]
+            rows.append(
+                {
+                    "depth": depth,
+                    "tau": tau,
+                    "nominal_accuracy_pct": cells[0].nominal_accuracy * 100.0,
+                    "mean_drop_pct_by_sigma": tuple(
+                        cell.mean_accuracy_drop * 100.0 for cell in cells
+                    ),
+                    "worst_drop_pct_by_sigma": tuple(
+                        cell.worst_case_drop * 100.0 for cell in cells
+                    ),
+                }
+            )
+    return rows
+
+
+def robustness_surface_summary(surface) -> dict:
+    """Per-sigma aggregates over the full grid of a robustness surface."""
+    per_sigma = []
+    for sigma in surface.sigmas:
+        cells = [cell for cell in surface.cells if cell.sigma_v == sigma]
+        per_sigma.append(
+            {
+                "sigma_v": sigma,
+                "average_mean_accuracy_drop_pct": mean(
+                    cell.mean_accuracy_drop for cell in cells
+                ) * 100.0,
+                "max_mean_accuracy_drop_pct": max(
+                    cell.mean_accuracy_drop for cell in cells
+                ) * 100.0,
+                "max_worst_case_drop_pct": max(
+                    cell.worst_case_drop for cell in cells
+                ) * 100.0,
+            }
+        )
+    return {"dataset": surface.dataset, "per_sigma": per_sigma}
 
 
 def table2_summary(rows: list[dict]) -> dict:

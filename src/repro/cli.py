@@ -73,6 +73,21 @@ ran).  Local three-way example::
 On CI the shard stores travel as artifacts instead (``cache export`` /
 ``assemble --from-archive``); see ``docs/SHARDING.md``.
 
+Multi-sigma robustness surface: ``--sigma`` takes one or more values on
+``suite``/``assemble``/``table2``/``surface`` (one variation unit per
+(dataset, depth, tau, sigma); unit identities are unchanged, so a multi-
+sigma plan is the union of the per-sigma plans), and ``surface`` maps the
+full (sigma x depth x tau) cube from the variation pool -- strictly from
+cache hits with ``--cache-only``::
+
+    python -m repro.cli suite --shard 1/3 --cache-dir shard1 \
+        --sigma 0.01 0.02 0.04 --trials 200
+    python -m repro.cli assemble --cache-dir merged \
+        --sigma 0.01 0.02 0.04 --trials 200 --from-store shard1 ...
+    python -m repro.cli surface --sigma 0.01 0.02 0.04 --trials 200 \
+        --cache-dir merged --cache-only \
+        --json surface.json --html surface.html
+
 Inspect or maintain the on-disk result store::
 
     python -m repro.cli cache stats
@@ -154,7 +169,12 @@ from repro.analysis.tables import (
     table2_rows,
     table2_summary,
 )
-from repro.core.sharding import MissingResultsError, ShardSpec, plan_suite_units
+from repro.core.sharding import (
+    MissingResultsError,
+    ShardSpec,
+    normalize_sigmas,
+    plan_suite_units,
+)
 from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.mltrees.evaluation import ENGINES
@@ -389,9 +409,15 @@ def _render_table2_robust(
                 ],
             ),
             f"\n{summary['n_feasible']}/{len(rows)} benchmarks feasible; "
-            f"averages: {summary['average_area_mm2']:.1f} mm2, "
-            f"{summary['average_power_mw']:.2f} mW, "
-            f"mean drop {summary['average_mean_accuracy_drop_pct']:.2f}%",
+            + (
+                # Zero feasible rows: there is nothing to average -- say so
+                # instead of printing a misleading 0.0.
+                "averages: n/a (no feasible designs)"
+                if summary["n_feasible"] == 0
+                else f"averages: {summary['average_area_mm2']:.1f} mm2, "
+                f"{summary['average_power_mw']:.2f} mW, "
+                f"mean drop {summary['average_mean_accuracy_drop_pct']:.2f}%"
+            ),
         ]
     )
 
@@ -417,26 +443,29 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             training_sigma=args.training_sigma,
             engine=args.engine,
         )
-    explorations = [
-        run_robust_exploration(
-            name,
-            sigma_v=args.sigma,
-            n_trials=args.trials,
-            seed=args.seed,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            training_sigma=args.training_sigma,
-            engine=args.engine,
+    renders = []
+    for sigma in normalize_sigmas(tuple(args.sigma)):
+        explorations = [
+            run_robust_exploration(
+                name,
+                sigma_v=sigma,
+                n_trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                training_sigma=args.training_sigma,
+                engine=args.engine,
+            )
+            for name in names
+        ]
+        renders.append(
+            _render_table2_robust(
+                explorations, sigma, args.trials, args.training_sigma,
+                args.max_accuracy_drop,
+            )
         )
-        for name in names
-    ]
-    print(
-        _render_table2_robust(
-            explorations, args.sigma, args.trials, args.training_sigma,
-            args.max_accuracy_drop,
-        )
-    )
+    print("\n\n".join(renders))
     return 0
 
 
@@ -495,7 +524,7 @@ def _plan_from_args(args: argparse.Namespace):
         datasets=tuple(args.datasets) if args.datasets else None,
         seed=args.seed,
         fast=args.fast,
-        sigma_v=args.sigma,
+        sigmas=tuple(args.sigma) if args.sigma else None,
         n_trials=args.trials,
         training_sigma=args.training_sigma,
     )
@@ -583,19 +612,24 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         ("fig5.txt", _render_fig5(table1_results)),
         ("table2.txt", _render_table2(table2_results)),
     ]
-    if args.sigma is not None:
+    for sigma in plan.sigmas:
         explorations = [
             run_robust_exploration(
-                name, sigma_v=args.sigma, n_trials=args.trials, seed=args.seed,
+                name, sigma_v=sigma, n_trials=args.trials, seed=args.seed,
                 store=store, cache_only=True, training_sigma=args.training_sigma,
             )
             for name in names
         ]
+        filename = (
+            "table2_offset_aware.txt"
+            if len(plan.sigmas) == 1
+            else f"table2_offset_aware_{sigma * 1000:g}mV.txt"
+        )
         sections.append(
             (
-                "table2_offset_aware.txt",
+                filename,
                 _render_table2_robust(
-                    explorations, args.sigma, args.trials, args.training_sigma,
+                    explorations, sigma, args.trials, args.training_sigma,
                     args.max_accuracy_drop,
                 ),
             )
@@ -724,6 +758,10 @@ def _cmd_variation(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            resolution_bits=args.resolution_bits,
+            test_size=args.test_size,
+            training_sigma=args.training_sigma,
+            robustness_weight=args.robustness_weight,
         )
         rows.append(
             (
@@ -735,10 +773,14 @@ def _cmd_variation(args: argparse.Namespace) -> int:
                 analysis.mean_accuracy_drop * 100.0,
             )
         )
+    training = (
+        "" if args.training_sigma == 0
+        else f", {_training_label(args.training_sigma)}"
+    )
     print(
         f"Monte-Carlo comparator-offset robustness of {args.dataset} "
         f"(depth {args.depth}, tau {args.tau:g}, {args.trials} trials, "
-        f"seed {args.seed})\n"
+        f"seed {args.seed}{training})\n"
     )
     print(
         render_table(
@@ -747,6 +789,98 @@ def _cmd_variation(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    return 0
+
+
+def _render_surface_text(surface) -> str:
+    """One surface as printed by ``surface`` (text heatmap + per-sigma summary)."""
+    from repro.analysis.tables import (
+        robustness_surface_rows,
+        robustness_surface_summary,
+    )
+
+    rows = robustness_surface_rows(surface)
+    summary = robustness_surface_summary(surface)
+    headers = ["depth", "tau", "nominal acc (%)"] + [
+        f"drop@{sigma * 1000:g}mV (%)" for sigma in surface.sigmas
+    ]
+    summary_lines = "\n".join(
+        f"  sigma {entry['sigma_v'] * 1000:g} mV: "
+        f"avg mean drop {entry['average_mean_accuracy_drop_pct']:.2f}%, "
+        f"max mean drop {entry['max_mean_accuracy_drop_pct']:.2f}%, "
+        f"max worst-case drop {entry['max_worst_case_drop_pct']:.2f}%"
+        for entry in summary["per_sigma"]
+    )
+    return "\n".join(
+        [
+            f"Robustness surface of {surface.dataset} "
+            f"({len(surface.sigmas)} sigmas x {len(surface.depths)} depths x "
+            f"{len(surface.taus)} taus, {surface.n_trials} trials/point, "
+            f"{_training_label(surface.training_sigma)}, seed {surface.seed}; "
+            f"baseline accuracy {surface.baseline_accuracy * 100:.2f}%)\n",
+            render_table(
+                headers,
+                [
+                    (r["depth"], r["tau"], r["nominal_accuracy_pct"],
+                     *r["mean_drop_pct_by_sigma"])
+                    for r in rows
+                ],
+            ),
+            "\nper-sigma summary:",
+            summary_lines,
+        ]
+    )
+
+
+def _cmd_surface(args: argparse.Namespace) -> int:
+    """Render the (sigma x depth x tau) robustness surface per benchmark."""
+    from repro.analysis.experiments import (
+        resolve_suite_datasets,
+        run_robustness_surface,
+    )
+
+    names = resolve_suite_datasets(
+        tuple(args.datasets) if args.datasets else None, args.fast
+    )
+    surfaces = []
+    try:
+        for name in names:
+            surfaces.append(
+                run_robustness_surface(
+                    name,
+                    tuple(args.sigma),
+                    n_trials=args.trials,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache,
+                    training_sigma=args.training_sigma,
+                    cache_only=args.cache_only,
+                    engine=args.engine,
+                )
+            )
+    except MissingResultsError as exc:
+        print(f"surface: {exc}", file=sys.stderr)
+        print(
+            "run the missing shards (repro.cli suite --shard K/N --sigma ...) "
+            "and retry",
+            file=sys.stderr,
+        )
+        return 1
+    print("\n\n".join(_render_surface_text(surface) for surface in surfaces))
+    if args.json:
+        from repro.analysis.export import robustness_surface_to_json
+
+        path = robustness_surface_to_json(surfaces, args.json)
+        print(f"wrote {path}")
+    if args.html:
+        from repro.search import render_surface
+
+        Path(args.html).write_text(
+            render_surface([surface.to_json_dict() for surface in surfaces]),
+            encoding="utf-8",
+        )
+        print(f"wrote {args.html}")
     return 0
 
 
@@ -769,7 +903,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             batch_size=args.batch_size,
+            cache_only=args.cache_only,
         )
+    except MissingResultsError as exc:
+        # --cache-only: a trial would have had to train.  Same discipline
+        # (and exit code) as an assemble over an incomplete store.
+        print(f"search: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         # Bad objective spellings / incompatible flags (e.g. the
         # mean_accuracy_drop objective without --sigma) are usage errors.
@@ -1121,9 +1261,12 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--sigma",
                 type=_sigma_argument,
+                nargs="+",
                 default=None,
-                help="comparator offset sigma in volts; when given, select "
-                "designs under the robustness budget (offset-aware Table II)",
+                metavar="SIGMA",
+                help="comparator offset sigmas in volts (one or more); when "
+                "given, select designs under the robustness budget at each "
+                "sigma (offset-aware Table II)",
             )
             sub.add_argument(
                 "--trials",
@@ -1230,11 +1373,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", required=True, choices=dataset_names(), help="benchmark to analyze"
     )
     variation.add_argument(
+        "--sigma",
         "--sigmas",
-        type=float,
-        nargs="*",
+        dest="sigmas",
+        type=_sigma_argument,
+        nargs="+",
         default=None,
-        help="offset sigmas in volts (default: 0 5m 10m 20m 40m)",
+        metavar="SIGMA",
+        help="offset sigmas in volts, one or more (--sigmas is an alias; "
+        "default: 0 5m 10m 20m 40m)",
     )
     variation.add_argument(
         "--trials", type=int, default=100, help="Monte-Carlo trials per sigma"
@@ -1242,6 +1389,33 @@ def build_parser() -> argparse.ArgumentParser:
     variation.add_argument("--depth", type=int, default=4, help="tree depth")
     variation.add_argument("--tau", type=float, default=0.01, help="Gini tolerance")
     variation.add_argument("--seed", type=int, default=0, help="global seed")
+    variation.add_argument(
+        "--training-sigma",
+        type=_sigma_argument,
+        default=0.0,
+        help="comparator offset sigma in volts the *trainer* assumes; the "
+        "classifier under test is the offset-aware tree, cached under the "
+        "same keys sharded suite runs and explore use (default: nominal)",
+    )
+    variation.add_argument(
+        "--robustness-weight",
+        type=float,
+        default=1.0,
+        help="weight of the expected-flip penalty during training "
+        "(active only with --training-sigma > 0)",
+    )
+    variation.add_argument(
+        "--resolution-bits",
+        type=int,
+        default=4,
+        help="ADC resolution of the classifier under test (default: 4)",
+    )
+    variation.add_argument(
+        "--test-size",
+        type=float,
+        default=0.3,
+        help="held-out fraction of the train/test split (default: 0.3)",
+    )
     variation.add_argument(
         "--jobs",
         type=_jobs_argument,
@@ -1260,6 +1434,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the result store and recompute the analysis",
     )
     variation.set_defaults(handler=_cmd_variation)
+
+    surface = subparsers.add_parser(
+        "surface",
+        help="map the (sigma x depth x tau) robustness surface per benchmark "
+        "from the variation Monte-Carlo pool",
+    )
+    _add_suite_arguments(surface)
+    surface.add_argument(
+        "--sigma",
+        type=_sigma_argument,
+        nargs="+",
+        required=True,
+        metavar="SIGMA",
+        help="comparator offset sigmas in volts (one or more; canonicalized, "
+        "so order and duplicates never change the result)",
+    )
+    surface.add_argument(
+        "--trials",
+        type=int,
+        default=100,
+        help="Monte-Carlo trials per (sigma, depth, tau) point",
+    )
+    surface.add_argument(
+        "--training-sigma",
+        type=_sigma_argument,
+        default=0.0,
+        help="comparator offset sigma in volts the trainer assumes "
+        "(default: nominal training)",
+    )
+    surface.add_argument(
+        "--cache-only",
+        action="store_true",
+        help="strict assemble mode: resolve every point from the store, "
+        "never compute (exit 1 with the missing unit keys listed)",
+    )
+    surface.add_argument(
+        "--json",
+        default=None,
+        help="write the machine-readable surface report here",
+    )
+    surface.add_argument(
+        "--html",
+        default=None,
+        help="write the self-contained SVG heatmap dashboard here",
+    )
+    surface.set_defaults(handler=_cmd_surface)
 
     search = subparsers.add_parser(
         "search",
@@ -1328,6 +1548,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the result store and train every trial",
     )
     search.add_argument(
+        "--cache-only",
+        action="store_true",
+        help="strict warm-start mode: fail (exit 1, missing keys listed) if "
+        "any trial would have to train instead of resolving from the store",
+    )
+    search.add_argument(
         "--json", default=None, help="write the JSON study record here"
     )
     search.add_argument(
@@ -1362,9 +1588,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--sigma",
             type=_sigma_argument,
+            nargs="+",
             default=None,
-            help="also plan one offset Monte-Carlo unit per (dataset, depth, "
-            "tau) grid point at this comparator sigma in volts",
+            metavar="SIGMA",
+            help="also plan one offset Monte-Carlo unit per (dataset, sigma, "
+            "depth, tau) point at these comparator sigmas in volts "
+            "(one or more values; order and duplicates never change the plan)",
         )
         sub.add_argument(
             "--trials",

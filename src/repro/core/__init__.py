@@ -45,6 +45,7 @@ from repro.core.sharding import (
     ShardSpec,
     SuitePlan,
     WorkUnit,
+    normalize_sigmas,
     plan_suite_units,
     suite_work_unit,
     variation_work_unit,
@@ -78,6 +79,7 @@ __all__ = [
     "WorkUnit",
     "SuitePlan",
     "MissingResultsError",
+    "normalize_sigmas",
     "plan_suite_units",
     "suite_work_unit",
     "variation_work_unit",

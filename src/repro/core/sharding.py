@@ -44,6 +44,33 @@ from repro.datasets.registry import canonical_name
 from repro.pdk.egfet import default_technology
 
 
+def normalize_sigmas(
+    sigmas,
+    sigma_v: float | None = None,
+) -> tuple[float, ...]:
+    """Canonicalize a sigma request to a sorted, deduplicated tuple.
+
+    Accepts the plural spelling (``sigmas``, any iterable of floats), the
+    legacy singular spelling (``sigma_v``), or neither (empty tuple -- no
+    variation units planned).  Passing both is ambiguous and rejected.  The
+    canonical form is ascending and duplicate-free, so two requests naming
+    the same sigma set -- in any order, with repeats -- plan the same units.
+    """
+    if sigmas is not None and sigma_v is not None:
+        raise ValueError("pass either sigmas=... or sigma_v=..., not both")
+    if sigmas is None:
+        sigmas = () if sigma_v is None else (sigma_v,)
+    if isinstance(sigmas, (int, float)):
+        sigmas = (sigmas,)
+    values = []
+    for sigma in sigmas:
+        sigma = float(sigma)
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma:g}")
+        values.append(sigma)
+    return tuple(sorted(set(values)))
+
+
 def suite_result_key(
     dataset: str,
     seed: int,
@@ -304,11 +331,16 @@ class SuitePlan:
     depths: tuple[int, ...]
     taus: tuple[float, ...]
     include_approximate_variants: tuple[bool, ...]
-    sigma_v: float | None
+    sigmas: tuple[float, ...]
     n_trials: int
     training_sigma: float
     robustness_weight: float
     units: tuple[WorkUnit, ...]
+
+    @property
+    def sigma_v(self) -> float | None:
+        """Back-compat single-sigma view: the sigma when exactly one is planned."""
+        return self.sigmas[0] if len(self.sigmas) == 1 else None
 
     def shard(self, spec: ShardSpec | None) -> tuple[WorkUnit, ...]:
         """The units assigned to ``spec`` (all units when ``spec`` is None)."""
@@ -342,15 +374,21 @@ def plan_suite_units(
     test_size: float = 0.3,
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
+    sigmas: tuple[float, ...] | None = None,
 ) -> SuitePlan:
     """Enumerate the work units of one suite configuration, in canonical order.
 
     Suite units come first (dataset-major, the ``include_approximate``
-    variants inner); with ``sigma_v`` given, one variation unit per
-    (dataset, depth, tau) grid point follows (dataset-major, the grid in the
+    variants inner); with ``sigmas`` given (or the legacy single-value
+    ``sigma_v`` spelling), one variation unit per (dataset, sigma, depth,
+    tau) point follows (dataset-major, sigmas ascending, the grid in the
     depth-major order of :func:`~repro.core.exploration.grid_points`).  The
-    enumeration order is presentation only -- shard membership depends on
-    each unit's identity alone, so reordering ``datasets`` never moves a
+    sigma request is canonicalized by :func:`normalize_sigmas` before
+    enumeration, so per-unit identities -- and therefore shard membership
+    and store keys -- are invariant to sigma ordering and duplicates, and a
+    single-sigma plan is unit-for-unit identical whichever spelling made it.
+    The enumeration order is presentation only -- shard membership depends
+    on each unit's identity alone, so reordering ``datasets`` never moves a
     unit between shards.
     """
     # Deferred: experiments imports this module (layering: analysis -> core).
@@ -361,6 +399,7 @@ def plan_suite_units(
     training_sigma, robustness_weight = canonical_training_knobs(
         training_sigma, robustness_weight
     )
+    sigma_values = normalize_sigmas(sigmas, sigma_v)
     units: list[WorkUnit] = []
     for name in names:
         for variant in include_approximate_variants:
@@ -371,12 +410,12 @@ def plan_suite_units(
                     robustness_weight=robustness_weight,
                 )
             )
-    if sigma_v is not None:
-        for name in names:
+    for name in names:
+        for sigma in sigma_values:
             for depth, tau in grid_points(depths, taus):
                 units.append(
                     variation_work_unit(
-                        name, seed, sigma_v, n_trials, depth, tau,
+                        name, seed, sigma, n_trials, depth, tau,
                         resolution_bits=resolution_bits, test_size=test_size,
                         training_sigma=training_sigma,
                         robustness_weight=robustness_weight,
@@ -390,7 +429,7 @@ def plan_suite_units(
         include_approximate_variants=tuple(
             bool(v) for v in include_approximate_variants
         ),
-        sigma_v=None if sigma_v is None else float(sigma_v),
+        sigmas=sigma_values,
         n_trials=int(n_trials),
         training_sigma=float(training_sigma),
         robustness_weight=float(robustness_weight),

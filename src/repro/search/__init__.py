@@ -9,7 +9,7 @@ trials through the :class:`~repro.core.executor.Executor` and extracts
 fronts with :mod:`repro.core.pareto`.  See ``docs/SEARCH.md``.
 """
 
-from repro.search.dashboard import render_dashboard
+from repro.search.dashboard import render_dashboard, render_surface
 from repro.search.optimizer import (
     ParetoTPESampler,
     crowding_distance,
@@ -46,4 +46,5 @@ __all__ = [
     "Trial",
     "parse_objectives",
     "render_dashboard",
+    "render_surface",
 ]

@@ -1,13 +1,16 @@
-"""Self-contained HTML Pareto dashboard for study records.
+"""Self-contained HTML dashboards for search and robustness records.
 
 :func:`render_dashboard` turns the JSON study record of
 :meth:`repro.search.study.StudyResult.to_json_dict` into one static HTML
 page: an inline-SVG scatter of the first two objectives with the
 non-dominated front highlighted and connected, plus a sortable-by-eye
-trial table.  No external assets, no JavaScript -- the page is a CI
-artifact that must render identically forever, from a file:// URL, with
-no network.  Rendering is deterministic: equal records produce equal
-bytes.
+trial table.  :func:`render_surface` does the same for robustness-surface
+records (:meth:`repro.analysis.experiments.RobustnessSurface.to_json_dict`):
+one inline-SVG heatmap per surface, sigma rows over the depth x tau grid,
+cell color encoding the mean accuracy drop.  No external assets, no
+JavaScript -- the pages are CI artifacts that must render identically
+forever, from a file:// URL, with no network.  Rendering is deterministic:
+equal records produce equal bytes.
 """
 
 from __future__ import annotations
@@ -158,6 +161,7 @@ svg { width: 100%; height: auto; max-width: 46rem; display: block; }
 .pt.cached { fill: #4a90d9; opacity: 0.75; }
 .pt.front { fill: #d94a4a; stroke: #7a1f1f; stroke-width: 1; }
 .front-line { fill: none; stroke: #d94a4a; stroke-width: 1.5; stroke-dasharray: 4 3; }
+.cell { stroke: #ddd; stroke-width: 0.5; }
 table { border-collapse: collapse; font-size: 0.85rem; width: 100%; }
 th, td { border: 1px solid #ddd; padding: 0.3rem 0.5rem; text-align: right; }
 th { background: #f2f2f7; } td.config { text-align: left; }
@@ -203,4 +207,133 @@ def render_dashboard(record: dict) -> str:
         f"<h1>Budgeted design-space search &mdash; "
         f"{html.escape(str(record['dataset']))}</h1>"
         f"{meta}{body}</body></html>"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# robustness-surface heatmap
+# ---------------------------------------------------------------------- #
+def _heat_color(fraction: float) -> str:
+    """Deterministic white -> dark-red ramp for a drop in [0, 1] of the max."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    start, end = (255, 255, 255), (170, 30, 30)
+    channels = (
+        round(start[i] + (end[i] - start[i]) * fraction) for i in range(3)
+    )
+    return "#{:02x}{:02x}{:02x}".format(*channels)
+
+
+def _surface_svg(record: dict) -> str:
+    """The sigma x (depth, tau) heatmap of one surface record, as inline SVG."""
+    sigmas = record["sigmas"]
+    grid = [(cell["depth"], cell["tau"]) for cell in record["cells"]]
+    columns = list(dict.fromkeys(grid))
+    cell_by_coord = {
+        (cell["sigma_v"], cell["depth"], cell["tau"]): cell
+        for cell in record["cells"]
+    }
+    max_drop = max(cell["mean_accuracy_drop"] for cell in record["cells"])
+    left, top, legend = 96, 24, 36
+    cell_w = max(8, min(24, (_WIDTH - left - 16) // max(len(columns), 1)))
+    cell_h = 26
+    width = left + cell_w * len(columns) + 16
+    height = top + cell_h * len(sigmas) + legend + 28
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="robustness surface">'
+    ]
+    for row, sigma in enumerate(sigmas):
+        y = top + row * cell_h
+        parts.append(
+            f'<text x="{left - 8}" y="{y + cell_h / 2 + 4:.0f}" class="tick" '
+            f'text-anchor="end">sigma {_fmt(sigma * 1000.0)} mV</text>'
+        )
+        for col, (depth, tau) in enumerate(columns):
+            cell = cell_by_coord[(sigma, depth, tau)]
+            drop = cell["mean_accuracy_drop"]
+            fill = _heat_color(drop / max_drop if max_drop > 0 else 0.0)
+            title = (
+                f"d={depth}, tau={_fmt(tau)}, sigma={_fmt(sigma * 1000.0)} mV: "
+                f"mean drop {drop * 100.0:.2f}%, "
+                f"worst {cell['worst_case_drop'] * 100.0:.2f}%"
+            )
+            parts.append(
+                f'<rect x="{left + col * cell_w}" y="{y}" width="{cell_w}" '
+                f'height="{cell_h}" fill="{fill}" class="cell">'
+                f"<title>{html.escape(title)}</title></rect>"
+            )
+    # Column labels: one tick at each new depth (tau-major columns repeat).
+    axis_y = top + len(sigmas) * cell_h + 14
+    seen_depths = set()
+    for col, (depth, tau) in enumerate(columns):
+        if depth in seen_depths:
+            continue
+        seen_depths.add(depth)
+        parts.append(
+            f'<text x="{left + col * cell_w + 2}" y="{axis_y}" class="tick">'
+            f"d={depth}</text>"
+        )
+    parts.append(
+        f'<text x="{left}" y="{axis_y + 16}" class="axis">depth-major grid, '
+        f"tau {_fmt(min(t for _, t in columns))}..."
+        f"{_fmt(max(t for _, t in columns))} within each depth</text>"
+    )
+    # Color legend: min -> max mean drop.
+    legend_y = axis_y + legend - 10
+    for step in range(21):
+        parts.append(
+            f'<rect x="{left + step * 6}" y="{legend_y}" width="6" height="10" '
+            f'fill="{_heat_color(step / 20)}"/>'
+        )
+    parts.append(
+        f'<text x="{left + 21 * 6 + 6}" y="{legend_y + 9}" class="tick">'
+        f"mean drop 0...{max_drop * 100.0:.2f}%</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _surface_section(record: dict) -> str:
+    required = {"dataset", "sigmas", "depths", "taus", "cells"}
+    missing = required - set(record)
+    if missing:
+        raise ValueError(f"surface record is missing fields: {sorted(missing)}")
+    if not record["cells"]:
+        raise ValueError("surface record has no cells")
+    sigmas = ", ".join(f"{sigma * 1000.0:g} mV" for sigma in record["sigmas"])
+    meta = (
+        f'<p class="meta">dataset <code>{html.escape(str(record["dataset"]))}</code>'
+        f" &middot; sigmas <code>{html.escape(sigmas)}</code>"
+        f' &middot; seed {record.get("seed", "?")}'
+        f' &middot; {record.get("n_trials", "?")} Monte-Carlo trials/point'
+        f' &middot; training sigma {_fmt(record.get("training_sigma"))} V</p>'
+    )
+    return (
+        f"<h2>{html.escape(str(record['dataset']))}</h2>"
+        + meta
+        + _surface_svg(record)
+    )
+
+
+def render_surface(records) -> str:
+    """Render robustness-surface record(s) to one static HTML page.
+
+    ``records`` is one record dict
+    (:meth:`~repro.analysis.experiments.RobustnessSurface.to_json_dict`) or
+    a sequence of them -- one heatmap section per benchmark, all on one
+    self-contained page.
+    """
+    if isinstance(records, dict):
+        records = [records]
+    records = list(records)
+    if not records:
+        raise ValueError("at least one surface record is required")
+    sections = "".join(_surface_section(record) for record in records)
+    title = ", ".join(str(record["dataset"]) for record in records)
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>robustness surface: {html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>Comparator-offset robustness surface</h1>"
+        f"{sections}</body></html>"
     )

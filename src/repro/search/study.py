@@ -33,7 +33,11 @@ from repro.core.executor import get_executor
 from repro.core.exploration import DEFAULT_DEPTHS, DEFAULT_TAUS, grid_points
 from repro.core.metrics import HardwareReport
 from repro.core.pareto import non_dominated_indices
-from repro.core.sharding import canonical_trial_key, suite_result_key
+from repro.core.sharding import (
+    MissingResultsError,
+    canonical_trial_key,
+    suite_result_key,
+)
 from repro.core.store import ResultStore
 from repro.core.variation import (
     VariationAnalysis,
@@ -284,6 +288,13 @@ class Study:
         so studies share their Monte-Carlo pool.
     store / cache_dir / use_cache:
         Result-store wiring, same contract as the suite runners.
+    cache_only:
+        Strict assemble discipline: every trial must resolve from the cache
+        layers (trial entry, suite extraction, or -- for robustness
+        objectives -- the variation pool); a trial that would have to train
+        raises :class:`~repro.core.sharding.MissingResultsError` listing the
+        missing keys instead.  The mode CI uses to *prove* a study
+        warm-started 100 % from an assembled store.
     batch_size:
         Trials asked (and fanned out) per ask/tell round.  Fixed
         independently of ``jobs`` -- that is what keeps serial and parallel
@@ -308,9 +319,13 @@ class Study:
         test_size: float = 0.3,
         batch_size: int = 4,
         sampler: ParetoTPESampler | None = None,
+        cache_only: bool = False,
     ):
         from repro.datasets.registry import canonical_name
 
+        if cache_only and not use_cache:
+            raise ValueError("cache_only requires use_cache=True")
+        self.cache_only = bool(cache_only)
         self.dataset = canonical_name(dataset)
         self.space = space if space is not None else paper_space()
         self.objectives = parse_objectives(objectives)
@@ -491,6 +506,24 @@ class Study:
             needs_variation = self.sigma_v is not None and analysis is None
             if payload is None or needs_variation:
                 pending.append(index)
+
+        if pending and self.cache_only:
+            missing = []
+            for index in pending:
+                config = configs[index]
+                point = f"{self.dataset}[d={config['depth']},tau={config['tau']:g}]"
+                if resolved[index] is None:
+                    missing.append((f"trial:{point}", self.trial_key(config)))
+                if self.sigma_v is not None and analyses[index] is None:
+                    missing.append(
+                        (
+                            f"variation:{point}[sigma={self.sigma_v:g}]",
+                            self._variation_key(config),
+                        )
+                    )
+            if self.store is not None:
+                self.store.flush_stats()
+            raise MissingResultsError(missing)
 
         if pending:
             tasks = []

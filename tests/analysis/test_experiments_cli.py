@@ -960,3 +960,305 @@ class TestAssembleArchiveErrors:
         err = capsys.readouterr().err
         assert err.startswith("assemble: ")
         assert "never-uploaded.tar.gz" in err
+
+
+class TestVariationCacheKeyBugfix:
+    """Regression: ``run_variation_analysis`` used to hard-default the
+    training knobs in its cache key and always train the nominal tree."""
+
+    def test_nominal_defaults_keep_the_legacy_key(self, tmp_path):
+        from repro.analysis.experiments import run_variation_analysis
+        from repro.core.variation import variation_result_key
+
+        store = ResultStore(cache_dir=tmp_path / "nominal")
+        analysis = run_variation_analysis(
+            "vertebral_2c", sigma_v=0.02, n_trials=4, seed=0, depth=3,
+            tau=0.01, store=store,
+        )
+        legacy_key = variation_result_key("vertebral_2c", 0, 0.02, 4, 3, 0.01)
+        assert store.get(legacy_key) == analysis
+
+    def test_training_knobs_address_separate_entries(self, tmp_path):
+        from repro.analysis.experiments import run_variation_analysis
+
+        store = ResultStore(cache_dir=tmp_path / "knobs")
+        kwargs = dict(sigma_v=0.02, n_trials=4, seed=0, depth=3, tau=0.01,
+                      store=store)
+        nominal = run_variation_analysis("vertebral_2c", **kwargs)
+        assert len(store) == 1
+        aware = run_variation_analysis(
+            "vertebral_2c", training_sigma=0.02, **kwargs
+        )
+        assert len(store) == 2  # no aliasing of the nominal entry
+        assert aware != nominal
+        # a rerun with the same knobs is a pure hit
+        again = run_variation_analysis(
+            "vertebral_2c", training_sigma=0.02, **kwargs
+        )
+        assert len(store) == 2
+        assert again == aware
+
+    def test_offset_aware_entries_shared_with_exploration(self, tmp_path):
+        from repro.analysis.experiments import (
+            run_robust_exploration,
+            run_variation_analysis,
+        )
+
+        store = ResultStore(cache_dir=tmp_path / "shared")
+        exploration = run_robust_exploration(
+            "vertebral_2c", sigma_v=0.02, n_trials=4, seed=0,
+            depths=(3,), taus=(0.01,), training_sigma=0.02, store=store,
+        )
+        stores_before = store.stats.stores
+        analysis = run_variation_analysis(
+            "vertebral_2c", sigma_v=0.02, n_trials=4, seed=0, depth=3,
+            tau=0.01, training_sigma=0.02, store=store,
+        )
+        assert store.stats.stores == stores_before  # hit, not recomputed
+        assert analysis == exploration.points[0].robustness
+
+    def test_offset_aware_training_changes_the_classifier_under_test(self):
+        from repro.analysis.experiments import run_variation_analysis
+
+        kwargs = dict(sigma_v=0.04, n_trials=4, seed=0, depth=3, tau=0.01,
+                      use_cache=False)
+        nominal = run_variation_analysis("vertebral_2c", **kwargs)
+        aware = run_variation_analysis(
+            "vertebral_2c", training_sigma=0.04, **kwargs
+        )
+        # different trained tree => different Monte-Carlo trajectory
+        assert aware.accuracies != nominal.accuracies
+
+
+class TestVariationCommandKnobs:
+    def test_sigma_and_sigmas_are_aliases(self):
+        parser = build_parser()
+        for flag in ("--sigma", "--sigmas"):
+            args = parser.parse_args(
+                ["variation", "--dataset", "seeds", flag, "0.01", "0.02"]
+            )
+            assert args.sigmas == [0.01, 0.02]
+
+    def test_training_knob_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["variation", "--dataset", "seeds"])
+        assert args.training_sigma == 0.0
+        assert args.robustness_weight == 1.0
+        assert args.resolution_bits == 4
+        assert args.test_size == 0.3
+
+    def test_nominal_header_is_unchanged(self, capsys, tmp_path):
+        assert main(
+            ["variation", "--dataset", "vertebral_2c", "--sigma", "0.02",
+             "--trials", "3", "--depth", "3",
+             "--cache-dir", str(tmp_path / "hdr")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed 0)" in out  # no training-mode suffix on nominal runs
+        assert "offset-aware" not in out
+
+    def test_offset_aware_header_names_the_training_mode(self, capsys, tmp_path):
+        assert main(
+            ["variation", "--dataset", "vertebral_2c", "--sigma", "0.02",
+             "--trials", "3", "--depth", "3", "--training-sigma", "0.04",
+             "--cache-dir", str(tmp_path / "hdr-aware")]
+        ) == 0
+        assert "offset-aware training at 40 mV" in capsys.readouterr().out
+
+
+class TestRunRobustnessSurface:
+    def test_cache_only_on_cold_store_lists_every_missing_unit(self, tmp_path):
+        from repro.analysis.experiments import run_robustness_surface
+        from repro.core.sharding import MissingResultsError
+
+        store = ResultStore(cache_dir=tmp_path / "cold")
+        with pytest.raises(MissingResultsError) as excinfo:
+            run_robustness_surface(
+                "vertebral_2c", (0.01, 0.02), n_trials=3, store=store,
+                cache_only=True, **SMALL_GRID,
+            )
+        assert "suite:vertebral_2c" in str(excinfo.value)
+
+    def test_cache_only_requires_use_cache(self):
+        from repro.analysis.experiments import run_robustness_surface
+
+        with pytest.raises(ValueError, match="cache_only"):
+            run_robustness_surface(
+                "vertebral_2c", (0.02,), use_cache=False, cache_only=True,
+                **SMALL_GRID,
+            )
+
+    def test_at_least_one_sigma_required(self):
+        from repro.analysis.experiments import run_robustness_surface
+
+        with pytest.raises(ValueError, match="sigma"):
+            run_robustness_surface("vertebral_2c", (), **SMALL_GRID)
+
+    def test_sigma_order_and_duplicates_canonicalized(self, tmp_path):
+        from repro.analysis.experiments import run_robustness_surface
+
+        store = ResultStore(cache_dir=tmp_path / "canon")
+        kwargs = dict(n_trials=3, seed=0, store=store, **SMALL_GRID)
+        first = run_robustness_surface("vertebral_2c", (0.01, 0.02), **kwargs)
+        second = run_robustness_surface(
+            "vertebral_2c", (0.02, 0.01, 0.02), **kwargs
+        )
+        assert first.sigmas == second.sigmas == (0.01, 0.02)
+        assert first == second
+        assert len(first.cells) == 2 * 4  # one per (sigma, grid point)
+
+    def test_cells_alias_the_variation_pool(self, tmp_path):
+        from repro.analysis.experiments import (
+            run_robustness_surface,
+            run_variation_analysis,
+        )
+
+        store = ResultStore(cache_dir=tmp_path / "pool")
+        surface = run_robustness_surface(
+            "vertebral_2c", (0.02,), n_trials=3, seed=0, store=store,
+            **SMALL_GRID,
+        )
+        stores_before = store.stats.stores
+        analysis = run_variation_analysis(
+            "vertebral_2c", sigma_v=0.02, n_trials=3, seed=0, depth=2,
+            tau=0.0, store=store,
+        )
+        assert store.stats.stores == stores_before  # same entries, pure hits
+        cell = surface.cell(0.02, 2, 0.0)
+        assert cell.mean_accuracy_drop == pytest.approx(
+            analysis.mean_accuracy_drop
+        )
+        assert cell.nominal_accuracy == pytest.approx(analysis.nominal_accuracy)
+
+    def test_multi_sigma_shard_run_resolves_surface_cache_only(self, tmp_path):
+        from repro.analysis.experiments import (
+            clear_memo,
+            run_plan_shard,
+            run_robustness_surface,
+        )
+        from repro.core.sharding import ShardSpec, plan_suite_units
+
+        plan = plan_suite_units(
+            datasets=("vertebral_2c",), sigmas=(0.01, 0.02), n_trials=3,
+            **SMALL_GRID,
+        )
+        store = ResultStore(cache_dir=tmp_path / "sharded")
+        for index in (1, 2, 3):
+            run_plan_shard(plan, ShardSpec(index, 3), store=store)
+        assert plan.missing(store) == ()
+
+        clear_memo()
+        reader = ResultStore(cache_dir=tmp_path / "sharded")
+        surface = run_robustness_surface(
+            "vertebral_2c", (0.01, 0.02), n_trials=3, store=reader,
+            cache_only=True, **SMALL_GRID,
+        )
+        assert reader.stats.misses == 0
+        assert reader.stats.stores == 0
+        # equal to a genuinely recomputed surface
+        fresh = run_robustness_surface(
+            "vertebral_2c", (0.01, 0.02), n_trials=3, use_cache=False,
+            **SMALL_GRID,
+        )
+        assert surface == fresh
+
+
+class TestSurfaceCommand:
+    def test_sigma_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["surface", "--datasets", "seeds"])
+
+    def test_cache_only_against_cold_store_fails_loudly(self, capsys, tmp_path):
+        assert main(
+            ["surface", "--datasets", "vertebral_2c", "--sigma", "0.02",
+             "--trials", "3", "--cache-only",
+             "--cache-dir", str(tmp_path / "cold")]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "missing" in captured.err
+        assert "run the missing shards" in captured.err
+        assert captured.out == ""
+
+    def test_surface_renders_table_json_and_html(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "surface.json"
+        html_path = tmp_path / "surface.html"
+        assert main(
+            ["surface", "--datasets", "vertebral_2c", "--sigma", "0.02",
+             "--trials", "2", "--cache-dir", str(tmp_path / "store"),
+             "--json", str(json_path), "--html", str(html_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Robustness surface of vertebral_2c" in out
+        assert "drop@20mV (%)" in out
+        assert "per-sigma summary:" in out
+
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "robustness_surface_report"
+        [record] = payload["surfaces"]
+        assert record["dataset"] == "vertebral_2c"
+        assert record["sigmas"] == [0.02]
+        assert len(record["cells"]) == 49
+        assert record["summary"]["per_sigma"][0]["sigma_v"] == 0.02
+
+        html = html_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html and "script" not in html
+
+
+class TestMultiSigmaSuiteCli:
+    def test_list_units_enumerates_every_sigma(self, capsys):
+        assert main(
+            ["suite", "--datasets", "vertebral_2c",
+             "--sigma", "0.01", "0.02", "--trials", "3", "--list-units"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("sigma=0.01]") == 49
+        assert out.count("sigma=0.02]") == 49
+
+    def test_table2_accepts_multiple_sigmas(self):
+        args = build_parser().parse_args(
+            ["table2", "--fast", "--sigma", "0.01", "0.02"]
+        )
+        assert args.sigma == [0.01, 0.02]
+
+    @pytest.mark.slow
+    def test_sharded_multi_sigma_assembles_byte_identical(self, capsys, tmp_path):
+        """Acceptance: a 3-way sharded multi-sigma run + assemble renders
+        each per-sigma offset-aware table byte-identically to the direct
+        single-sigma ``table2`` command, and the surface resolves from the
+        assembled store without a single miss."""
+        cache = tmp_path / "store"
+        base = ["--datasets", "vertebral_2c", "--sigma", "0.01", "0.02",
+                "--trials", "3"]
+        for index in (1, 2, 3):
+            assert main(
+                ["suite", *base, "--shard", f"{index}/3", "--jobs", "2",
+                 "--cache-dir", str(cache)]
+            ) == 0
+        capsys.readouterr()
+
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["assemble", *base, "--cache-dir", str(cache),
+             "--output-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out and "0 recomputed" in out
+
+        for sigma, suffix in ((0.01, "10mV"), (0.02, "20mV")):
+            assert main(
+                ["table2", "--datasets", "vertebral_2c",
+                 "--sigma", f"{sigma}", "--trials", "3",
+                 "--cache-dir", str(cache)]
+            ) == 0
+            rendered = capsys.readouterr().out
+            artifact = out_dir / f"table2_offset_aware_{suffix}.txt"
+            assert artifact.read_text() == rendered
+
+        assert main(
+            ["surface", "--datasets", "vertebral_2c", "--sigma", "0.01",
+             "0.02", "--trials", "3", "--cache-only",
+             "--cache-dir", str(cache)]
+        ) == 0
+        assert "Robustness surface of vertebral_2c" in capsys.readouterr().out

@@ -205,4 +205,56 @@ class TestRobustTables:
         )
         assert rows[0]["feasible"] is False
         assert rows[0]["power_mw"] is None
-        assert table2_robust_summary(rows)["n_feasible"] == 0
+        summary = table2_robust_summary(rows)
+        assert summary["n_feasible"] == 0
+        # Regression: zero feasible rows used to report 0.0 "averages" --
+        # averages over nothing are undefined, not zero.
+        assert summary["average_power_mw"] is None
+        assert summary["average_area_mm2"] is None
+        assert summary["average_mean_accuracy_drop_pct"] is None
+
+    def test_table2_robust_render_prints_na_when_nothing_feasible(
+        self, exploration
+    ):
+        from repro.cli import _render_table2_robust
+
+        text = _render_table2_robust(
+            [exploration], sigma=0.02, trials=5,
+            training_sigma=0.0, max_accuracy_drop=-1.0,
+        )
+        assert "averages: n/a (no feasible designs)" in text
+        assert "0/1 benchmarks feasible" in text
+
+    def test_surface_rows_carry_per_sigma_drop_columns(self, exploration):
+        from repro.analysis.experiments import run_robustness_surface
+        from repro.analysis.tables import (
+            robustness_surface_rows,
+            robustness_surface_summary,
+        )
+
+        surface = run_robustness_surface(
+            "vertebral_2c", (0.01, 0.02), n_trials=5, seed=0,
+            depths=(2, 3), taus=(0.0, 0.01), use_cache=False,
+        )
+        rows = robustness_surface_rows(surface)
+        assert len(rows) == 4  # one per (depth, tau)
+        for row in rows:
+            assert len(row["mean_drop_pct_by_sigma"]) == 2
+            assert len(row["worst_drop_pct_by_sigma"]) == 2
+        # the 20 mV column agrees with the single-sigma exploration fixture
+        lookup = {
+            (row["depth"], row["tau"]): row["mean_drop_pct_by_sigma"][1]
+            for row in rows
+        }
+        for point in exploration.points:
+            assert lookup[(point.depth, point.tau)] == pytest.approx(
+                point.mean_accuracy_drop * 100.0
+            )
+
+        summary = robustness_surface_summary(surface)
+        assert [entry["sigma_v"] for entry in summary["per_sigma"]] == [0.01, 0.02]
+        for entry in summary["per_sigma"]:
+            assert (
+                entry["max_mean_accuracy_drop_pct"]
+                >= entry["average_mean_accuracy_drop_pct"]
+            )

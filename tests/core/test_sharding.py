@@ -17,6 +17,7 @@ from repro.core.exploration import grid_points
 from repro.core.sharding import (
     MissingResultsError,
     ShardSpec,
+    normalize_sigmas,
     plan_suite_units,
     suite_result_key,
     suite_work_unit,
@@ -148,6 +149,99 @@ class TestPlanSuiteUnits:
         store.put(plan.units[0].store_key, "stub")
         assert plan.missing(store) == plan.units[1:]
         assert store.stats.misses == 0  # pure membership checks
+
+
+class TestNormalizeSigmas:
+    def test_sorts_and_dedupes(self):
+        assert normalize_sigmas((0.04, 0.01, 0.01, 0.02)) == (0.01, 0.02, 0.04)
+
+    def test_scalar_and_none_forms(self):
+        assert normalize_sigmas(0.02) == (0.02,)
+        assert normalize_sigmas(None) == ()
+        assert normalize_sigmas(None, sigma_v=0.02) == (0.02,)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            normalize_sigmas((0.01,), sigma_v=0.02)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            normalize_sigmas((0.01, -0.02))
+
+
+class TestMultiSigmaPlanning:
+    def test_one_variation_unit_per_dataset_sigma_grid_point(self):
+        plan = plan_suite_units(
+            datasets=("seeds",), sigmas=(0.01, 0.02), n_trials=5, **SMALL_GRID
+        )
+        kinds = [unit.kind for unit in plan.units]
+        assert kinds.count("suite") == 2
+        assert kinds.count("variation") == 2 * len(grid_points(**SMALL_GRID))
+        sigmas = [
+            unit.params["sigma_v"]
+            for unit in plan.units
+            if unit.kind == "variation"
+        ]
+        # sigma-ascending outer loop, grid-major inner loop
+        assert sigmas == [0.01] * 4 + [0.02] * 4
+
+    def test_single_sigma_tuple_equals_legacy_scalar_spelling(self):
+        modern = plan_suite_units(
+            datasets=("seeds",), sigmas=(0.02,), n_trials=5, **SMALL_GRID
+        )
+        legacy = plan_suite_units(
+            datasets=("seeds",), sigma_v=0.02, n_trials=5, **SMALL_GRID
+        )
+        assert modern.units == legacy.units
+        assert modern.sigmas == legacy.sigmas == (0.02,)
+        assert modern.sigma_v == 0.02  # compat property
+
+    def test_both_sigma_spellings_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            plan_suite_units(
+                datasets=("seeds",), sigma_v=0.02, sigmas=(0.01,), **SMALL_GRID
+            )
+
+    def test_identities_invariant_to_sigma_ordering_and_duplicates(self):
+        canonical = plan_suite_units(
+            datasets=("seeds",), sigmas=(0.01, 0.04), n_trials=5, **SMALL_GRID
+        )
+        shuffled = plan_suite_units(
+            datasets=("seeds",), sigmas=(0.04, 0.01, 0.04), n_trials=5,
+            **SMALL_GRID,
+        )
+        assert shuffled.units == canonical.units
+        assert shuffled.sigmas == (0.01, 0.04)
+        assert shuffled.sigma_v is None  # scalar view undefined for multi-sigma
+
+    @pytest.mark.parametrize("n_shards", [1, 3, 5])
+    def test_multi_sigma_shards_are_a_disjoint_cover(self, n_shards):
+        plan = plan_suite_units(
+            datasets=("seeds", "vertebral_2c"), sigmas=(0.01, 0.02, 0.04),
+            n_trials=5, **SMALL_GRID,
+        )
+        seen: list = []
+        for index in range(1, n_shards + 1):
+            seen.extend(plan.shard(ShardSpec(index, n_shards)))
+        assert len(seen) == len(plan.units)
+        assert set(seen) == set(plan.units)
+
+    def test_per_sigma_units_alias_single_sigma_plans(self):
+        """A multi-sigma plan is exactly the union of per-sigma plans: unit
+        identities (and hence shard membership and store keys) do not depend
+        on which other sigmas ride along in the sweep."""
+        multi = plan_suite_units(
+            datasets=("seeds",), sigmas=(0.01, 0.02), n_trials=5, **SMALL_GRID
+        )
+        union: set = set()
+        for sigma in (0.01, 0.02):
+            union.update(
+                plan_suite_units(
+                    datasets=("seeds",), sigmas=(sigma,), n_trials=5,
+                    **SMALL_GRID,
+                ).units
+            )
+        assert set(multi.units) == union
 
 
 class TestCrossProcessStability:

@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.search import render_dashboard
+from repro.search import render_dashboard, render_surface
 
 
 @pytest.fixture()
@@ -154,4 +154,78 @@ class TestDashboardRendering:
         record = self.record()
         record["dataset"] = "<script>alert(1)</script>"
         html = render_dashboard(record)
+        assert "<script>" not in html
+
+
+class TestSearchCacheOnly:
+    def test_cold_store_fails_listing_missing_keys(self, capsys, cache_dir):
+        exit_code = run_search(cache_dir, "--cache-only")
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "missing" in err
+        assert "trial:seeds" in err
+
+    def test_warm_store_passes_with_full_warm_start(self, capsys, cache_dir):
+        assert run_search(cache_dir) == 0
+        capsys.readouterr()
+        assert run_search(cache_dir, "--cache-only") == 0
+        assert "3 from cache / 0 trained" in capsys.readouterr().out
+
+
+class TestSurfaceRendering:
+    def record(self):
+        return {
+            "dataset": "toy",
+            "seed": 0,
+            "n_trials": 5,
+            "training_sigma": 0.0,
+            "robustness_weight": 1.0,
+            "baseline_accuracy": 0.9,
+            "sigmas": [0.01, 0.02],
+            "depths": [2, 3],
+            "taus": [0.0, 0.01],
+            "cells": [
+                {
+                    "sigma_v": sigma,
+                    "depth": depth,
+                    "tau": tau,
+                    "nominal_accuracy": 0.9,
+                    "mean_accuracy": 0.9 - sigma,
+                    "std_accuracy": 0.01,
+                    "min_accuracy": 0.85,
+                    "mean_accuracy_drop": sigma,
+                    "worst_case_drop": 2 * sigma,
+                }
+                for sigma in (0.01, 0.02)
+                for depth in (2, 3)
+                for tau in (0.0, 0.01)
+            ],
+        }
+
+    def test_deterministic_bytes(self):
+        assert render_surface(self.record()) == render_surface(self.record())
+
+    def test_single_record_equals_singleton_sequence(self):
+        assert render_surface(self.record()) == render_surface([self.record()])
+
+    def test_heatmap_cells_and_tooltips_present(self):
+        html = render_surface(self.record())
+        assert html.count('class="cell"') == 8
+        assert "<title>" in html
+        assert "10 mV" in html or "sigma 10" in html or "0.01" in html
+
+    def test_missing_fields_rejected(self):
+        record = self.record()
+        del record["cells"]
+        with pytest.raises(ValueError, match="cells"):
+            render_surface(record)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            render_surface([])
+
+    def test_dataset_name_is_escaped(self):
+        record = self.record()
+        record["dataset"] = "<script>alert(1)</script>"
+        html = render_surface(record)
         assert "<script>" not in html

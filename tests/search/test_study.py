@@ -220,6 +220,63 @@ class TestCacheLayers:
         assert store.get(study.trial_key(config))["accuracy"] == trial.accuracy
 
 
+class TestCacheOnly:
+    """The strict assemble discipline: a --cache-only study never trains."""
+
+    def test_cache_only_requires_use_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_only"):
+            Study(
+                "seeds", space=small_space(), use_cache=False, cache_only=True,
+                store=ResultStore(tmp_path),
+            )
+
+    def test_cold_store_raises_listing_trial_keys(self, tmp_path):
+        from repro.core.sharding import MissingResultsError
+
+        study = Study(
+            "seeds", space=small_space(), cache_only=True,
+            store=ResultStore(tmp_path),
+        )
+        with pytest.raises(MissingResultsError) as excinfo:
+            study.run(budget=3)
+        assert all(label.startswith("trial:seeds") for label, _ in
+                   excinfo.value.missing)
+
+    def test_warm_store_replays_without_training(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kwargs = dict(budget=4, seed=0, space=small_space(), batch_size=2)
+        cold = run_search_study("seeds", store=store, **kwargs)
+        warm = run_search_study("seeds", store=store, cache_only=True, **kwargs)
+        assert warm.n_trained == 0 and warm.n_from_cache == 4
+        for a, b in zip(cold.trials, warm.trials):
+            assert a.config == b.config
+            assert a.objectives == b.objectives
+
+    def test_missing_variation_entries_also_listed(self, tmp_path):
+        """With a sigma the drop objective needs the per-sigma variation
+        entries; a store warm on trials but cold on variation must fail
+        naming the variation keys."""
+        from repro.core.sharding import MissingResultsError
+
+        store = ResultStore(tmp_path)
+        kwargs = dict(budget=3, seed=0, space=small_space(), batch_size=3)
+        run_search_study("seeds", store=store, **kwargs)  # trials only
+        study = Study(
+            "seeds",
+            objectives=("-accuracy", "mean_accuracy_drop"),
+            sigma_v=0.02,
+            variation_trials=4,
+            space=small_space(),
+            cache_only=True,
+            store=store,
+            seed=0,
+        )
+        with pytest.raises(MissingResultsError) as excinfo:
+            study.run(budget=3)
+        labels = [label for label, _ in excinfo.value.missing]
+        assert any(label.startswith("variation:seeds") for label in labels)
+
+
 class TestStudyResultShape:
     def test_record_fields_and_front_property(self, tmp_path):
         result = run_search_study(
