@@ -151,6 +151,7 @@ def _run_one_benchmark(
     training_sigma: float = 0.0,
     robustness_weight: float = 1.0,
     engine: str = "batch",
+    ppa_backend=None,
 ) -> CoDesignResult:
     """Top-level (picklable) job: run the co-design flow on one benchmark."""
     with get_executor(jobs) as executor:
@@ -163,6 +164,7 @@ def _run_one_benchmark(
             training_sigma=training_sigma,
             robustness_weight=robustness_weight,
             engine=engine,
+            ppa_backend=ppa_backend,
         )
         dataset = load_dataset(name, seed=seed)
         return framework.run(dataset)
@@ -184,6 +186,7 @@ def run_benchmark_suite(
     shard: ShardSpec | None = None,
     cache_only: bool = False,
     engine: str = "batch",
+    ppa_backend=None,
 ) -> list[CoDesignResult]:
     """Run the co-design flow over the benchmark suite (cached per dataset).
 
@@ -243,9 +246,31 @@ def run_benchmark_suite(
         or ``"bitparallel"``; see :mod:`repro.core.bitkernel`).  Engines are
         bit-identical, so -- like ``jobs`` -- this never participates in
         cache keys and cached results are shared across engines.
+    ppa_backend:
+        Source of every design's digital area/power (default: the analytic
+        cell-count model; anything
+        :func:`~repro.circuits.ppa.resolve_ppa_backend` accepts).  Unlike
+        ``engine``, a non-analytic backend *changes results*, and its
+        numbers are not derivable from the experiment configuration -- so
+        such runs bypass the memo and the on-disk store entirely (nothing
+        report-based is ever cached under a configuration key), and they
+        refuse ``cache_only`` mode.
     """
+    from repro.circuits.ppa import resolve_ppa_backend
+
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
+    backend = resolve_ppa_backend(ppa_backend)
+    if not getattr(backend, "is_analytic", False):
+        if cache_only:
+            raise ValueError(
+                "cache_only requires the analytic PPA backend: cached suite "
+                "entries hold analytic costs, which a report backend would "
+                "contradict"
+            )
+        # Report-backed costs must never be cached under configuration keys.
+        use_cache = False
+        store = None
     if cache_only and not use_cache:
         raise ValueError("cache_only requires use_cache=True")
     requested = resolve_suite_datasets(datasets, fast)
@@ -312,7 +337,7 @@ def run_benchmark_suite(
                     (
                         name, seed, include_approximate_baseline,
                         tuple(depths), tuple(taus), 1,
-                        training_sigma, robustness_weight, engine,
+                        training_sigma, robustness_weight, engine, backend,
                     )
                     for name in pending
                 ]
@@ -330,6 +355,7 @@ def run_benchmark_suite(
                         training_sigma=training_sigma,
                         robustness_weight=robustness_weight,
                         engine=engine,
+                        ppa_backend=backend,
                     )
                     for name in pending
                 ]
@@ -513,6 +539,7 @@ def run_robust_exploration(
     robustness_weight: float = 1.0,
     cache_only: bool = False,
     engine: str = "batch",
+    ppa_backend=None,
 ) -> RobustExploration:
     """Variation-aware design-space exploration of one benchmark.
 
@@ -548,6 +575,7 @@ def run_robust_exploration(
         robustness_weight=robustness_weight,
         cache_only=cache_only,
         engine=engine,
+        ppa_backend=ppa_backend,
     )
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
@@ -561,6 +589,7 @@ def run_robust_exploration(
             executor=executor if executor.jobs > 1 else None,
             training_sigma=training_sigma,
             robustness_weight=robustness_weight,
+            ppa_backend=ppa_backend,
         )
         points = framework.run_robustness(
             data,
@@ -685,6 +714,7 @@ def run_robustness_surface(
     robustness_weight: float = 1.0,
     cache_only: bool = False,
     engine: str = "batch",
+    ppa_backend=None,
 ) -> RobustnessSurface:
     """Map the (sigma x depth x tau) robustness surface of one benchmark.
 
@@ -727,6 +757,9 @@ def run_robustness_surface(
         robustness_weight=robustness_weight,
         cache_only=cache_only,
         engine=engine,
+        # The surface itself is accuracy-only (variation summaries), so the
+        # backend only influences the baseline suite entry resolved here.
+        ppa_backend=ppa_backend,
     )
     if use_cache and store is None:
         store = ResultStore(cache_dir) if cache_dir is not None else default_store()
@@ -824,6 +857,7 @@ def run_search_study(
     use_cache: bool = True,
     batch_size: int = 4,
     cache_only: bool = False,
+    ppa_backend=None,
 ):
     """Run one budgeted multi-objective study (see :mod:`repro.search`).
 
@@ -857,6 +891,7 @@ def run_search_study(
         use_cache=use_cache,
         batch_size=batch_size,
         cache_only=cache_only,
+        ppa_backend=ppa_backend,
     )
     return study.run(budget=budget, jobs=jobs)
 

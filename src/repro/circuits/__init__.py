@@ -18,7 +18,14 @@ behavioral EGFET cell library:
   against a cell library (the behavioral stand-in for Design Compiler /
   PrimeTime),
 * :mod:`repro.circuits.verification` -- netlist-vs-reference-model
-  equivalence checking.
+  equivalence checking,
+* :mod:`repro.circuits.verilog` / :mod:`repro.circuits.testbench` /
+  :mod:`repro.circuits.cosim` -- structural Verilog export, self-checking
+  testbench generation and RTL co-simulation under iverilog/Verilator,
+* :mod:`repro.circuits.ppa` -- pluggable PPA backends (analytic cell-count
+  model vs. replayed external-flow reports).
+
+See ``docs/HARDWARE.md`` for the end-to-end hardware flow.
 """
 
 from repro.circuits.netlist import Gate, Netlist
@@ -38,9 +45,31 @@ from repro.circuits.synthesis import (
 )
 from repro.circuits.area_power import AreaPowerReport, estimate_netlist
 from repro.circuits.verification import EquivalenceResult, check_equivalence
-from repro.circuits.verilog import netlist_to_verilog
+from repro.circuits.verilog import (
+    netlist_to_verilog,
+    sanitize_identifier,
+    verilog_net_names,
+)
 from repro.circuits.testbench import generate_verilog_testbench
 from repro.circuits.timing import TimingReport, estimate_timing
+from repro.circuits.cosim import (
+    CosimError,
+    CosimReport,
+    SimulatorNotFoundError,
+    available_simulators,
+    find_simulator,
+    run_cosim,
+    testbench_vectors,
+    write_cosim_sources,
+)
+from repro.circuits.ppa import (
+    AnalyticPPABackend,
+    PPABackend,
+    PPAReportError,
+    ReportPPABackend,
+    load_ppa_report,
+    resolve_ppa_backend,
+)
 
 __all__ = [
     "Gate",
@@ -61,7 +90,23 @@ __all__ = [
     "EquivalenceResult",
     "check_equivalence",
     "netlist_to_verilog",
+    "sanitize_identifier",
+    "verilog_net_names",
     "generate_verilog_testbench",
     "TimingReport",
     "estimate_timing",
+    "CosimError",
+    "CosimReport",
+    "SimulatorNotFoundError",
+    "available_simulators",
+    "find_simulator",
+    "run_cosim",
+    "testbench_vectors",
+    "write_cosim_sources",
+    "AnalyticPPABackend",
+    "PPABackend",
+    "PPAReportError",
+    "ReportPPABackend",
+    "load_ppa_report",
+    "resolve_ppa_backend",
 ]

@@ -3,9 +3,12 @@
 Complements :mod:`repro.circuits.verilog`: given a netlist and a set of input
 vectors, the generated testbench applies every vector, compares the DUT
 outputs against the expected values computed by the Python logic simulator,
-and reports the number of mismatches.  This gives a user of the exported
-Verilog an immediate way to validate the printed design against the trained
-model in any simulator.
+and reports the number of mismatches.  The testbench is the executable half
+of the RTL co-simulation flow: :mod:`repro.circuits.cosim` generates one per
+exported module (exhaustive vectors for small netlists, seeded random
+sampling above a threshold), runs it under Icarus Verilog or Verilator, and
+parses the pass/fail summary into a
+:class:`~repro.circuits.cosim.CosimReport`.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import numpy as np
 
 from repro.circuits.logic_sim import CompiledNetlist
 from repro.circuits.netlist import Netlist
-from repro.circuits.verilog import sanitize_identifier
+from repro.circuits.verilog import sanitize_identifier, verilog_net_names
 
 
 def generate_verilog_testbench(
@@ -24,6 +27,7 @@ def generate_verilog_testbench(
     vectors: Sequence[Mapping[str, bool]],
     module_name: str | None = None,
     testbench_name: str | None = None,
+    fatal_on_mismatch: bool = False,
 ) -> str:
     """Build a self-checking testbench for ``netlist``.
 
@@ -39,6 +43,12 @@ def generate_verilog_testbench(
         Name of the DUT module (defaults to the sanitized netlist name).
     testbench_name:
         Name of the generated testbench module (defaults to ``<dut>_tb``).
+    fatal_on_mismatch:
+        When true, a run with any mismatched vector ends in ``$fatal``, so
+        the simulator exits with a nonzero status (the mode the cosim runner
+        uses).  Mismatches are still counted and displayed first -- the
+        ``$fatal`` fires once after the final vector, preserving the full
+        mismatch census in the log.
     """
     if not vectors:
         raise ValueError("at least one test vector is required")
@@ -46,8 +56,11 @@ def generate_verilog_testbench(
     dut = sanitize_identifier(module_name or netlist.name)
     tb = sanitize_identifier(testbench_name or f"{dut}_tb")
 
-    inputs = [sanitize_identifier(name) for name in netlist.inputs]
-    outputs = [sanitize_identifier(name) for name in netlist.outputs]
+    # The DUT module was emitted with this exact mapping; reusing it keeps
+    # port bindings correct even when raw names collide after sanitization.
+    nets = verilog_net_names(netlist)
+    inputs = [nets[name] for name in netlist.inputs]
+    outputs = [nets[name] for name in netlist.outputs]
 
     lines: list[str] = []
     lines.append(f"// Self-checking testbench for module '{dut}'")
@@ -100,6 +113,8 @@ def generate_verilog_testbench(
     lines.append("    if (errors == 0) $display(\"TESTBENCH PASSED: %0d vectors\", "
                  f"{len(vectors)});")
     lines.append("    else $display(\"TESTBENCH FAILED: %0d errors\", errors);")
+    if fatal_on_mismatch:
+        lines.append("    if (errors != 0) $fatal(1);")
     lines.append("    $finish;")
     lines.append("  end")
     lines.append("endmodule")

@@ -1,12 +1,15 @@
 """Structural Verilog export of synthesized netlists.
 
-The behavioral cost model is enough to reproduce the paper's numbers, but a
-downstream user of the framework ultimately wants to print a real circuit.
 This module emits a self-contained structural Verilog module (continuous
 assignments over the library's cell functions) for any
 :class:`~repro.circuits.netlist.Netlist`, e.g. the two-level unary label
-logic of a co-designed tree or the baseline comparator tree, so the design
-can be handed to an actual EGFET synthesis/physical flow.
+logic of a co-designed tree or the baseline comparator tree.  The export is
+executable, not just printable: :mod:`repro.circuits.cosim` pairs it with a
+self-checking testbench (:mod:`repro.circuits.testbench`) and runs the pair
+under Icarus Verilog or Verilator, proving the RTL agrees with the Python
+golden model before the design is handed to an EGFET synthesis/physical
+flow.  PPA numbers measured by such a flow feed back through
+:class:`repro.circuits.ppa.ReportPPABackend`.
 """
 
 from __future__ import annotations
@@ -17,15 +20,63 @@ from repro.circuits.netlist import Gate, Netlist
 
 _IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
 
+#: Reserved words of IEEE 1364-2005 Verilog (plus a few common SystemVerilog
+#: ones a simulator may reject as identifiers).  A net named after one of
+#: these would produce an unparsable module, so sanitization escapes them.
+_VERILOG_KEYWORDS = frozenset(
+    """
+    always and assign automatic begin buf bufif0 bufif1 case casex casez cell
+    cmos config deassign default defparam design disable edge else end
+    endcase endconfig endfunction endgenerate endmodule endprimitive
+    endspecify endtable endtask event for force forever fork function
+    generate genvar highz0 highz1 if ifnone incdir include initial inout
+    input instance integer join large liblist library localparam macromodule
+    medium module nand negedge nmos nor noshowcancelled not notif0 notif1 or
+    output parameter pmos posedge primitive pull0 pull1 pulldown pullup
+    pulsestyle_ondetect pulsestyle_onevent rcmos real realtime reg release
+    repeat rnmos rpmos rtran rtranif0 rtranif1 scalared showcancelled signed
+    small specify specparam strong0 strong1 supply0 supply1 table task time
+    tran tranif0 tranif1 tri tri0 tri1 triand trior trireg unsigned use
+    uwire vectored wait wand weak0 weak1 while wire wor xnor xor
+    logic bit byte int longint shortint enum struct typedef
+    """.split()
+)
+
 
 def sanitize_identifier(name: str) -> str:
-    """Turn an arbitrary net/gate name into a legal Verilog identifier."""
-    if _IDENTIFIER.match(name):
+    """Turn an arbitrary net/gate name into a legal Verilog identifier.
+
+    Illegal characters become underscores, a leading digit gains an ``n_``
+    prefix, and Verilog reserved words gain a trailing underscore.
+    """
+    if _IDENTIFIER.match(name) and name not in _VERILOG_KEYWORDS:
         return name
     cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
     if not cleaned or not re.match(r"[A-Za-z_]", cleaned[0]):
         cleaned = f"n_{cleaned}"
+    if cleaned in _VERILOG_KEYWORDS:
+        cleaned += "_"
     return cleaned
+
+
+def verilog_net_names(netlist: Netlist) -> dict[str, str]:
+    """Deterministic net -> Verilog identifier mapping for ``netlist``.
+
+    Sanitizes every net name and resolves collisions (two raw names
+    sanitizing to the same identifier) by appending underscores in sorted
+    net order.  Both :func:`netlist_to_verilog` and the testbench generator
+    use this single mapping, so DUT ports and testbench signals can never
+    disagree about a net's Verilog name.
+    """
+    nets: dict[str, str] = {}
+    used: set[str] = set()
+    for name in sorted(netlist.nets()):
+        candidate = sanitize_identifier(name)
+        while candidate in used:
+            candidate += "_"
+        nets[name] = candidate
+        used.add(candidate)
+    return nets
 
 
 def _expression(gate: Gate, nets: dict[str, str]) -> str:
@@ -81,14 +132,7 @@ def netlist_to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
     netlist.validate()
     module = sanitize_identifier(module_name or netlist.name)
 
-    nets: dict[str, str] = {}
-    used: set[str] = set()
-    for name in sorted(netlist.nets()):
-        candidate = sanitize_identifier(name)
-        while candidate in used:
-            candidate += "_"
-        nets[name] = candidate
-        used.add(candidate)
+    nets = verilog_net_names(netlist)
 
     inputs = [nets[name] for name in netlist.inputs]
     outputs = [nets[name] for name in netlist.outputs]

@@ -88,6 +88,21 @@ cache hits with ``--cache-only``::
         --cache-dir merged --cache-only \
         --json surface.json --html surface.html
 
+RTL co-simulation and pluggable PPA (see ``docs/HARDWARE.md``): ``cosim``
+trains a classifier, exports its label logic plus a self-checking testbench
+whose expected outputs come from the Python golden model, and runs the pair
+under an installed open-source Verilog simulator (iverilog or Verilator;
+generation-only on machines without one).  ``--ppa-backend`` on the suite,
+``explore``, ``search`` and ``datasheet`` commands swaps the analytic
+area/power estimators for an external flow's measured PPA report (such runs
+bypass the result cache)::
+
+    python -m repro.cli cosim --dataset seeds --depth 4 --json cosim.json
+    python -m repro.cli cosim --dataset cardio --emit rtl/ --simulator iverilog
+    python -m repro.cli explore --dataset seeds --sigma 0.02 \
+        --ppa-backend reports/seeds_ppa.json
+    python -m repro.cli datasheet --dataset seeds --ppa-backend report.json
+
 Inspect or maintain the on-disk result store::
 
     python -m repro.cli cache stats
@@ -175,6 +190,7 @@ from repro.core.sharding import (
     normalize_sigmas,
     plan_suite_units,
 )
+from repro.circuits.cosim import SIMULATORS
 from repro.core.store import ResultStore
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.mltrees.evaluation import ENGINES
@@ -256,6 +272,7 @@ def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
         help="bypass the result store and recompute everything",
     )
     _add_engine_argument(parser)
+    _add_ppa_backend_argument(parser)
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -265,6 +282,18 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         default="batch",
         help="inference engine scoring the exploration's test sets "
         "(bit-identical; 'bitparallel' = packed-uint64 cube kernel)",
+    )
+
+
+def _add_ppa_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ppa-backend",
+        default=None,
+        metavar="analytic|REPORT.json",
+        help="source of the digital area/power numbers: 'analytic' (default, "
+        "the behavioral cell-count model) or the path of an external-flow "
+        "PPA report JSON (see docs/HARDWARE.md); report-backed runs bypass "
+        "the result cache",
     )
 
 
@@ -279,6 +308,7 @@ def _suite(args: argparse.Namespace, include_approximate: bool):
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         engine=args.engine,
+        ppa_backend=args.ppa_backend,
     )
 
 
@@ -442,6 +472,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             training_sigma=args.training_sigma,
             engine=args.engine,
+            ppa_backend=args.ppa_backend,
         )
     renders = []
     for sigma in normalize_sigmas(tuple(args.sigma)):
@@ -456,6 +487,7 @@ def _cmd_table2_robust(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 training_sigma=args.training_sigma,
                 engine=args.engine,
+                ppa_backend=args.ppa_backend,
             )
             for name in names
         ]
@@ -672,9 +704,109 @@ def _cmd_datasheet(args: argparse.Namespace) -> int:
             class_names=dataset.class_names,
             X_test=X_test,
             y_test=y_test,
+            ppa_backend=args.ppa_backend,
         )
     )
     return 0
+
+
+def _cosim_netlist(args: argparse.Namespace):
+    """Train the requested classifier and compile its label-logic netlist."""
+    from repro.core.adc_aware_training import ADCAwareTrainer
+    from repro.core.unary_tree import UnaryDecisionTree
+    from repro.mltrees.evaluation import train_test_split
+    from repro.mltrees.quantize import quantize_dataset
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    X_train, _, y_train, _ = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, seed=args.seed
+    )
+    tree = ADCAwareTrainer(
+        max_depth=args.depth, gini_threshold=args.tau, seed=args.seed
+    ).fit(quantize_dataset(X_train), y_train, dataset.n_classes)
+    return UnaryDecisionTree(tree).to_netlist(
+        f"{args.dataset}_label_logic"
+    )
+
+
+def _cmd_cosim(args: argparse.Namespace) -> int:
+    """RTL co-simulation of the exported label logic vs the golden model."""
+    from repro.circuits.cosim import (
+        DEFAULT_RANDOM_VECTORS,
+        CosimError,
+        find_simulator,
+        run_cosim,
+        write_cosim_sources,
+    )
+
+    netlist = _cosim_netlist(args)
+    n_random = args.vectors if args.vectors is not None else DEFAULT_RANDOM_VECTORS
+    print(
+        f"cosim: {args.dataset} (depth {args.depth}, tau {args.tau:g}, "
+        f"seed {args.seed}) -> module {netlist.name!r}, "
+        f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs"
+    )
+    if args.emit:
+        dut_path, tb_path, n_vectors, exhaustive = write_cosim_sources(
+            netlist, args.emit, seed=args.seed, n_random=n_random
+        )
+        drive = "exhaustive" if exhaustive else "random"
+        print(
+            f"wrote {dut_path} and {tb_path} ({n_vectors} {drive} vectors)"
+        )
+    simulator = find_simulator(args.simulator)
+    if simulator is None:
+        if args.simulator != "auto":
+            print(
+                f"cosim: simulator {args.simulator!r} is not installed",
+                file=sys.stderr,
+            )
+            return 2
+        # Generation-only degradation: bare containers can still produce and
+        # inspect the sources; CI's nightly job installs iverilog to run them.
+        message = (
+            "no Verilog simulator installed (looked for: "
+            + ", ".join(SIMULATORS)
+            + "); generation-only run, no simulation performed"
+        )
+        print(f"cosim: {message}")
+        if args.json:
+            payload = {
+                "schema_version": 1,
+                "kind": "cosim_report",
+                "module": netlist.name,
+                "skipped": True,
+                "reason": message,
+            }
+            Path(args.json).write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {args.json}")
+        return 0
+    try:
+        report = run_cosim(
+            netlist, simulator=simulator, seed=args.seed, n_random=n_random
+        )
+    except CosimError as exc:
+        print(f"cosim: {exc}", file=sys.stderr)
+        return 2
+    drive = "exhaustive" if report.exhaustive else "random"
+    verdict = "PASSED" if report.passed else "FAILED"
+    print(
+        f"{verdict}: {report.n_vectors} {drive} vectors under "
+        f"{report.simulator}, {report.n_mismatches} mismatches "
+        f"(exit {report.returncode})"
+    )
+    if not report.passed and report.log:
+        print(report.log, file=sys.stderr)
+    if args.json:
+        payload = report.to_json_dict()
+        payload["skipped"] = False
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -688,6 +820,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         training_sigma=args.training_sigma,
         engine=args.engine,
+        ppa_backend=args.ppa_backend,
     )
     rows = exploration_rows(exploration.points)
     print(
@@ -857,6 +990,7 @@ def _cmd_surface(args: argparse.Namespace) -> int:
                     training_sigma=args.training_sigma,
                     cache_only=args.cache_only,
                     engine=args.engine,
+                    ppa_backend=args.ppa_backend,
                 )
             )
     except MissingResultsError as exc:
@@ -867,6 +1001,10 @@ def _cmd_surface(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    except ValueError as exc:
+        # Incompatible flags (e.g. --cache-only with a report PPA backend).
+        print(f"surface: {exc}", file=sys.stderr)
+        return 2
     print("\n\n".join(_render_surface_text(surface) for surface in surfaces))
     if args.json:
         from repro.analysis.export import robustness_surface_to_json
@@ -904,6 +1042,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             batch_size=args.batch_size,
             cache_only=args.cache_only,
+            ppa_backend=args.ppa_backend,
         )
     except MissingResultsError as exc:
         # --cache-only: a trial would have had to train.  Same discipline
@@ -1363,6 +1502,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the robustness-annotated grid to this JSON file",
     )
     _add_engine_argument(explore)
+    _add_ppa_backend_argument(explore)
     explore.set_defaults(handler=_cmd_explore)
 
     variation = subparsers.add_parser(
@@ -1561,6 +1701,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the self-contained HTML Pareto dashboard here",
     )
+    _add_ppa_backend_argument(search)
     search.set_defaults(handler=_cmd_search)
 
     suite = subparsers.add_parser(
@@ -1853,7 +1994,50 @@ def build_parser() -> argparse.ArgumentParser:
     datasheet.add_argument("--depth", type=int, default=4, help="tree depth")
     datasheet.add_argument("--tau", type=float, default=0.01, help="Gini tolerance")
     datasheet.add_argument("--seed", type=int, default=0, help="global seed")
+    _add_ppa_backend_argument(datasheet)
     datasheet.set_defaults(handler=_cmd_datasheet)
+
+    cosim = subparsers.add_parser(
+        "cosim",
+        help="co-simulate the exported Verilog label logic against the "
+        "golden netlist model (see docs/HARDWARE.md)",
+    )
+    cosim.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="benchmark to use"
+    )
+    cosim.add_argument("--depth", type=int, default=4, help="tree depth")
+    cosim.add_argument("--tau", type=float, default=0.01, help="Gini tolerance")
+    cosim.add_argument("--seed", type=int, default=0, help="global seed")
+    cosim.add_argument(
+        "--simulator",
+        choices=("auto",) + SIMULATORS,
+        default="auto",
+        help="Verilog simulator to run under ('auto' picks the first "
+        "installed one and degrades to generation-only when none is found; "
+        "naming one explicitly fails with exit 2 if it is not installed)",
+    )
+    cosim.add_argument(
+        "--vectors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="random stimulus vectors when the input count exceeds the "
+        "exhaustive threshold (default: 256; below the threshold every "
+        "input combination is always applied)",
+    )
+    cosim.add_argument(
+        "--emit",
+        default=None,
+        metavar="DIR",
+        help="also write dut.v and tb.v into this directory",
+    )
+    cosim.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable CosimReport here",
+    )
+    cosim.set_defaults(handler=_cmd_cosim)
     return parser
 
 

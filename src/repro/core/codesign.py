@@ -112,7 +112,10 @@ class CoDesignFramework:
         training_sigma: float = 0.0,
         robustness_weight: float = 1.0,
         engine: str = "batch",
+        ppa_backend=None,
     ):
+        from repro.circuits.ppa import resolve_ppa_backend
+
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
         self.max_baseline_depth = max_baseline_depth
@@ -141,6 +144,12 @@ class CoDesignFramework:
         #: engines are bit-identical, so results and cache keys never
         #: depend on it.
         self.engine = resolve_engine(engine)
+        #: Source of the digital area/power numbers for the unary designs
+        #: (default: the analytic cell-count model, bit-identical to the
+        #: pre-backend flow).  The baseline [2] comparator tree keeps the
+        #: analytic model -- it is the literature reference the reductions
+        #: are measured against, not a design this framework exports.
+        self.ppa_backend = resolve_ppa_backend(ppa_backend)
 
     # ------------------------------------------------------------------ #
     # data preparation
@@ -190,7 +199,10 @@ class CoDesignFramework:
             depth=fit.depth,
         )
         unary_hw = proposed_hardware_report(
-            fit.tree, self.technology, name=f"unary+bespokeADC {dataset.name}"
+            fit.tree,
+            self.technology,
+            name=f"unary+bespokeADC {dataset.name}",
+            ppa_backend=self.ppa_backend,
         )
         unary = ClassifierDesign(
             name="unary+bespokeADC (ADC-unaware model)",
@@ -219,6 +231,7 @@ class CoDesignFramework:
             training_sigma=self.training_sigma,
             robustness_weight=self.robustness_weight,
             engine=self.engine,
+            ppa_backend=self.ppa_backend,
         )
         return explorer.explore(
             X_train_levels,

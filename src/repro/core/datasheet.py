@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.timing import estimate_timing
 from repro.core.bespoke_adc import build_bespoke_adcs
 from repro.core.exploration import proposed_hardware_report
 from repro.core.power_budget import analyze_self_power
@@ -31,6 +30,7 @@ def generate_datasheet(
     class_names: list[str] | None = None,
     X_test: np.ndarray | None = None,
     y_test: np.ndarray | None = None,
+    ppa_backend=None,
 ) -> str:
     """Render a complete text datasheet for a trained, co-designed tree.
 
@@ -47,17 +47,26 @@ def generate_datasheet(
     X_test, y_test:
         Optional normalized evaluation set; when given, the measured accuracy
         is included.
+    ppa_backend:
+        Source of the digital area/power/timing numbers (default: the
+        analytic estimators; see :mod:`repro.circuits.ppa`).  With a
+        :class:`~repro.circuits.ppa.ReportPPABackend`, the datasheet quotes
+        the external flow's measured costs instead.
     """
     # Imported here to keep repro.core free of an import-time dependency on
     # repro.analysis (which itself imports repro.core for the result types).
     from repro.analysis.render import render_table
+    from repro.circuits.ppa import resolve_ppa_backend
 
     technology = technology if technology is not None else default_technology()
+    backend = resolve_ppa_backend(ppa_backend)
     unary = UnaryDecisionTree(tree)
-    hardware = proposed_hardware_report(tree, technology, name=name)
+    hardware = proposed_hardware_report(
+        tree, technology, name=name, ppa_backend=backend
+    )
     self_power = analyze_self_power(hardware, technology)
     netlist = unary.to_netlist("label_logic")
-    timing = estimate_timing(netlist, technology)
+    timing = backend.timing(netlist, technology)
     adcs = build_bespoke_adcs(unary, technology, feature_names=feature_names)
 
     lines: list[str] = []

@@ -120,16 +120,23 @@ def proposed_hardware_report(
     tree: DecisionTree,
     technology: EGFETTechnology | None = None,
     name: str = "proposed",
+    ppa_backend=None,
 ) -> HardwareReport:
     """Hardware report of a tree implemented with the proposed architecture.
 
     The tree is translated into the parallel unary architecture, its
     two-level label logic is synthesized and costed, and every used input
     receives a bespoke ADC retaining only the required unary digits.
+
+    ``ppa_backend`` selects where the *digital* costs come from (default:
+    the analytic cell-count model, bit-identical to the pre-backend code
+    path; see :mod:`repro.circuits.ppa`).  The bespoke-ADC front end is an
+    analog block outside any digital PPA flow, so its costs always come from
+    the behavioral ADC model.
     """
     technology = technology if technology is not None else default_technology()
     unary = UnaryDecisionTree(tree)
-    digital = unary.digital_report(technology)
+    digital = unary.digital_report(technology, ppa_backend=ppa_backend)
     if unary.n_inputs > 0:
         frontend = build_bespoke_frontend(unary, technology)
         adc_area, adc_power = frontend.area_mm2, frontend.power_uw
@@ -170,6 +177,11 @@ class DesignSpaceExplorer:
         kernel, see :mod:`repro.core.bitkernel`).  Engines are bit-identical,
         so this is pure execution tuning -- it is *not* part of the
         experiment configuration or any cache key.
+    ppa_backend:
+        Source of every grid point's digital area/power (default: the
+        analytic cell-count model; see :mod:`repro.circuits.ppa`).  Accepts
+        anything :func:`~repro.circuits.ppa.resolve_ppa_backend` does.  The
+        backend must be picklable when the sweep fans out across processes.
     """
 
     def __init__(
@@ -182,7 +194,10 @@ class DesignSpaceExplorer:
         training_sigma: float = 0.0,
         robustness_weight: float = 1.0,
         engine: str = "batch",
+        ppa_backend=None,
     ):
+        from repro.circuits.ppa import resolve_ppa_backend
+
         self.technology = technology if technology is not None else default_technology()
         self.resolution_bits = resolution_bits
         self.depths = tuple(depths)
@@ -195,6 +210,7 @@ class DesignSpaceExplorer:
         self.training_sigma = training_sigma
         self.robustness_weight = robustness_weight
         self.engine = resolve_engine(engine)
+        self.ppa_backend = resolve_ppa_backend(ppa_backend)
         if not self.depths or not self.taus:
             raise ValueError("the exploration grid must not be empty")
 
@@ -227,7 +243,10 @@ class DesignSpaceExplorer:
             tree, X_test_levels, y_test, engine=self.engine
         )
         hardware = proposed_hardware_report(
-            tree, self.technology, name=f"codesign[d={depth},tau={tau:g}]"
+            tree,
+            self.technology,
+            name=f"codesign[d={depth},tau={tau:g}]",
+            ppa_backend=self.ppa_backend,
         )
         return DesignPoint(
             dataset=dataset_name,

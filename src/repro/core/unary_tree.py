@@ -250,9 +250,21 @@ class UnaryDecisionTree:
         netlist.validate()
         return netlist
 
-    def digital_report(self, technology: EGFETTechnology) -> AreaPowerReport:
-        """Area/power of the synthesized two-level label logic."""
-        return estimate_netlist(self.to_netlist(), technology)
+    def digital_report(
+        self, technology: EGFETTechnology, ppa_backend=None
+    ) -> AreaPowerReport:
+        """Area/power of the synthesized two-level label logic.
+
+        ``ppa_backend`` selects the costing source (default: the analytic
+        cell-count model; see :mod:`repro.circuits.ppa`).
+        """
+        if ppa_backend is None:
+            return estimate_netlist(self.to_netlist(), technology)
+        from repro.circuits.ppa import resolve_ppa_backend
+
+        return resolve_ppa_backend(ppa_backend).area_power(
+            self.to_netlist(), technology
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

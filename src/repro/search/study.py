@@ -215,6 +215,7 @@ def _trial_job(
     need_outcome: bool,
     sigma_v: float | None,
     variation_trials: int,
+    ppa_backend=None,
 ) -> tuple[dict | None, VariationAnalysis | None]:
     """Top-level (picklable) job: train and measure one design point.
 
@@ -253,7 +254,10 @@ def _trial_job(
             tree, quantize_dataset(X_test, resolution_bits), y_test
         )
         hardware = proposed_hardware_report(
-            tree, technology, name=f"codesign[d={depth},tau={tau:g}]"
+            tree,
+            technology,
+            name=f"codesign[d={depth},tau={tau:g}]",
+            ppa_backend=ppa_backend,
         )
         payload = {"accuracy": float(accuracy), "hardware": hardware}
     analysis = None
@@ -303,6 +307,13 @@ class Study:
         Optional pre-built sampler (tests inject deterministic stubs);
         defaults to a :class:`~repro.search.optimizer.ParetoTPESampler`
         seeded with ``seed``.
+    ppa_backend:
+        Source of every trial's hardware costs (default: the analytic
+        cell-count model, bit-identical to before the backend interface
+        existed).  A non-analytic backend changes the power/area objectives,
+        so such studies never read or write the trial/suite caches (and
+        refuse ``cache_only``): report-backed numbers must not alias the
+        analytic entries stored under the same configuration keys.
     """
 
     def __init__(
@@ -320,9 +331,20 @@ class Study:
         batch_size: int = 4,
         sampler: ParetoTPESampler | None = None,
         cache_only: bool = False,
+        ppa_backend=None,
     ):
+        from repro.circuits.ppa import resolve_ppa_backend
         from repro.datasets.registry import canonical_name
 
+        self.ppa_backend = resolve_ppa_backend(ppa_backend)
+        if not getattr(self.ppa_backend, "is_analytic", False):
+            if cache_only:
+                raise ValueError(
+                    "cache_only requires the analytic PPA backend: cached "
+                    "trials hold analytic costs, which a report backend "
+                    "would contradict"
+                )
+            use_cache = False
         if cache_only and not use_cache:
             raise ValueError("cache_only requires use_cache=True")
         self.cache_only = bool(cache_only)
@@ -543,6 +565,7 @@ class Study:
                         resolved[index] is None,
                         self.sigma_v if analyses[index] is None else None,
                         self.variation_trials,
+                        self.ppa_backend,
                     )
                 )
             for index, (payload, analysis) in zip(

@@ -1,0 +1,159 @@
+"""Tests for the ``cosim`` CLI command and the ``--ppa-backend`` flag."""
+
+import json
+
+import pytest
+
+import repro.circuits.cosim as cosim_module
+from repro.circuits.cosim import CosimReport
+from repro.cli import build_parser, main
+
+
+def _no_simulator(monkeypatch):
+    monkeypatch.setattr(cosim_module.shutil, "which", lambda name: None)
+
+
+def _report_file(tmp_path, area=7.5, power=321.0):
+    payload = {
+        "schema_version": 1,
+        "kind": "ppa_report",
+        "source": "cli-test",
+        "modules": {"*": {"area_mm2": area, "power_uw": power}},
+    }
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestCosimParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["cosim", "--dataset", "seeds"])
+        assert args.simulator == "auto"
+        assert args.depth == 4 and args.tau == 0.01 and args.seed == 0
+        assert args.vectors is None and args.emit is None and args.json is None
+
+    def test_simulator_choices(self):
+        parser = build_parser()
+        for name in ("auto", "iverilog", "verilator"):
+            assert parser.parse_args(
+                ["cosim", "--dataset", "seeds", "--simulator", name]
+            ).simulator == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["cosim", "--dataset", "seeds", "--simulator", "modelsim"]
+            )
+
+
+class TestCosimCommand:
+    def test_generation_only_without_simulator(self, capsys, monkeypatch, tmp_path):
+        _no_simulator(monkeypatch)
+        json_path = tmp_path / "cosim.json"
+        code = main([
+            "cosim", "--dataset", "seeds", "--depth", "2",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generation-only" in out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["skipped"] is True
+        assert payload["kind"] == "cosim_report"
+
+    def test_explicit_missing_simulator_fails(self, capsys, monkeypatch):
+        _no_simulator(monkeypatch)
+        code = main([
+            "cosim", "--dataset", "seeds", "--depth", "2",
+            "--simulator", "iverilog",
+        ])
+        assert code == 2
+        assert "not installed" in capsys.readouterr().err
+
+    def test_emit_writes_sources(self, capsys, monkeypatch, tmp_path):
+        _no_simulator(monkeypatch)
+        code = main([
+            "cosim", "--dataset", "seeds", "--depth", "2",
+            "--emit", str(tmp_path / "rtl"),
+        ])
+        assert code == 0
+        dut = (tmp_path / "rtl" / "dut.v").read_text(encoding="utf-8")
+        tb = (tmp_path / "rtl" / "tb.v").read_text(encoding="utf-8")
+        assert "module seeds_label_logic(" in dut
+        assert "$fatal(1);" in tb
+
+    def test_passing_simulation_exits_zero(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            cosim_module, "find_simulator", lambda preference: "iverilog"
+        )
+        monkeypatch.setattr(
+            cosim_module,
+            "run_cosim",
+            lambda netlist, **kwargs: CosimReport(
+                module=netlist.name, simulator="iverilog", n_vectors=64,
+                n_mismatches=0, exhaustive=True, returncode=0, passed=True,
+            ),
+        )
+        json_path = tmp_path / "cosim.json"
+        code = main([
+            "cosim", "--dataset", "seeds", "--depth", "2",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        assert "PASSED: 64 exhaustive vectors" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["passed"] is True and payload["skipped"] is False
+
+    def test_mismatches_exit_one(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            cosim_module, "find_simulator", lambda preference: "iverilog"
+        )
+        monkeypatch.setattr(
+            cosim_module,
+            "run_cosim",
+            lambda netlist, **kwargs: CosimReport(
+                module=netlist.name, simulator="iverilog", n_vectors=64,
+                n_mismatches=2, exhaustive=True, returncode=1, passed=False,
+                log="vector 3: class_0 expected 1'b0, got 1",
+            ),
+        )
+        code = main(["cosim", "--dataset", "seeds", "--depth", "2"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "vector 3" in captured.err
+
+
+class TestPPABackendFlag:
+    def test_flag_present_on_costing_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "fig4", "fig5", "surface",
+                        "explore", "search", "datasheet"):
+            extra = []
+            if command in ("explore", "search", "datasheet"):
+                extra += ["--dataset", "seeds"]
+            if command == "search":
+                extra += ["--budget", "4"]
+            if command == "surface":
+                extra += ["--sigma", "0.02"]
+            args = parser.parse_args([command] + extra)
+            assert args.ppa_backend is None
+
+    def test_datasheet_quotes_report_numbers(self, capsys, tmp_path):
+        report = _report_file(tmp_path, area=7.5, power=321.0)
+        code = main([
+            "datasheet", "--dataset", "seeds", "--depth", "2",
+            "--ppa-backend", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DATASHEET" in out
+        assert "7.5" in out  # the report's digital area, not the analytic one
+
+    def test_datasheet_analytic_spelling_matches_default(self, capsys):
+        main(["datasheet", "--dataset", "seeds", "--depth", "2"])
+        default = capsys.readouterr().out
+        main([
+            "datasheet", "--dataset", "seeds", "--depth", "2",
+            "--ppa-backend", "analytic",
+        ])
+        explicit = capsys.readouterr().out
+        assert default == explicit

@@ -1,0 +1,193 @@
+"""Unit tests for the RTL co-simulation layer.
+
+Everything except the ``TestRealSimulation`` class runs without a Verilog
+simulator installed; the real-execution tests skip (never fail) on bare
+containers and run in full on the nightly CI cosim job.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits.cosim import (
+    DEFAULT_RANDOM_VECTORS,
+    MAX_EXHAUSTIVE_INPUTS,
+    SIMULATORS,
+    CosimError,
+    CosimReport,
+    SimulatorNotFoundError,
+    _parse_verdict,
+    available_simulators,
+    find_simulator,
+    run_cosim,
+    testbench_vectors as tb_vectors,
+    write_cosim_sources,
+)
+from repro.circuits.netlist import Netlist
+from repro.core.unary_tree import UnaryDecisionTree
+
+
+def _xor_netlist() -> Netlist:
+    netlist = Netlist("xor_block")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_gate("XOR2", [a, b], output="y")
+    netlist.add_output("y")
+    return netlist
+
+
+def _wide_netlist(n_inputs: int) -> Netlist:
+    netlist = Netlist("wide_or")
+    nets = [netlist.add_input(f"i{k}") for k in range(n_inputs)]
+    netlist.add_gate(f"OR{n_inputs}", nets, output="any_set")
+    netlist.add_output("any_set")
+    return netlist
+
+
+class TestTestbenchVectors:
+    def test_small_netlist_is_exhaustive_in_binary_order(self):
+        netlist = _xor_netlist()
+        vectors, exhaustive = tb_vectors(netlist)
+        assert exhaustive
+        expected = [
+            dict(zip(("a", "b"), bits))
+            for bits in itertools.product((False, True), repeat=2)
+        ]
+        assert vectors == expected
+
+    def test_wide_netlist_samples_seeded_random_vectors(self):
+        netlist = _wide_netlist(MAX_EXHAUSTIVE_INPUTS + 1)
+        vectors, exhaustive = tb_vectors(netlist, seed=7)
+        assert not exhaustive
+        assert len(vectors) == DEFAULT_RANDOM_VECTORS
+        again, _ = tb_vectors(netlist, seed=7)
+        assert vectors == again
+        different, _ = tb_vectors(netlist, seed=8)
+        assert vectors != different
+
+    def test_threshold_is_inclusive(self):
+        netlist = _wide_netlist(3)
+        vectors, exhaustive = tb_vectors(netlist, max_exhaustive_inputs=3)
+        assert exhaustive and len(vectors) == 8
+        vectors, exhaustive = tb_vectors(
+            netlist, max_exhaustive_inputs=2, n_random=16
+        )
+        assert not exhaustive and len(vectors) == 16
+
+    def test_rejects_empty_random_budget(self):
+        with pytest.raises(ValueError, match="n_random"):
+            tb_vectors(_wide_netlist(3), max_exhaustive_inputs=2, n_random=0)
+
+
+class TestSimulatorDiscovery:
+    def test_available_simulators_probes_path(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.circuits.cosim.shutil.which",
+            lambda name: "/usr/bin/" + name if name == "verilator" else None,
+        )
+        assert available_simulators() == ("verilator",)
+        assert find_simulator("auto") == "verilator"
+        assert find_simulator("verilator") == "verilator"
+        assert find_simulator("iverilog") is None
+
+    def test_auto_prefers_iverilog(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.circuits.cosim.shutil.which", lambda name: "/usr/bin/" + name
+        )
+        assert available_simulators() == SIMULATORS
+        assert find_simulator("auto") == "iverilog"
+
+    def test_nothing_installed(self, monkeypatch):
+        monkeypatch.setattr("repro.circuits.cosim.shutil.which", lambda name: None)
+        assert available_simulators() == ()
+        assert find_simulator("auto") is None
+
+    def test_unknown_preference_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulator"):
+            find_simulator("modelsim")
+
+    def test_run_cosim_without_simulator_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.circuits.cosim.shutil.which", lambda name: None)
+        with pytest.raises(SimulatorNotFoundError, match="no usable"):
+            run_cosim(_xor_netlist())
+
+
+class TestParseVerdict:
+    def test_pass_line(self):
+        assert _parse_verdict("TESTBENCH PASSED: 64 vectors") == (True, 0)
+
+    def test_fail_line_wins_over_pass_line(self):
+        log = "TESTBENCH FAILED: 3 errors\nTESTBENCH PASSED: 64 vectors"
+        assert _parse_verdict(log) == (False, 3)
+
+    def test_missing_verdict_is_a_toolchain_error(self):
+        with pytest.raises(CosimError, match="no TESTBENCH verdict"):
+            _parse_verdict("segfault\n")
+
+
+class TestWriteCosimSources:
+    def test_writes_dut_and_fatal_testbench(self, tmp_path):
+        dut, tb, n_vectors, exhaustive = write_cosim_sources(
+            _xor_netlist(), tmp_path
+        )
+        assert dut.name == "dut.v" and tb.name == "tb.v"
+        assert exhaustive and n_vectors == 4
+        assert "module xor_block(" in dut.read_text(encoding="utf-8")
+        tb_source = tb.read_text(encoding="utf-8")
+        assert "module xor_block_tb;" in tb_source
+        assert "$fatal(1);" in tb_source
+
+    def test_tree_netlist_sources(self, tmp_path, small_tree):
+        netlist = UnaryDecisionTree(small_tree).to_netlist("label_logic")
+        dut, tb, n_vectors, exhaustive = write_cosim_sources(netlist, tmp_path)
+        assert exhaustive
+        assert n_vectors == 2 ** len(netlist.inputs)
+        assert "label_logic dut (" in tb.read_text(encoding="utf-8")
+
+
+class TestCosimReport:
+    def test_json_dict_schema(self):
+        report = CosimReport(
+            module="m", simulator="iverilog", n_vectors=4, n_mismatches=0,
+            exhaustive=True, returncode=0, passed=True, log="raw",
+        )
+        payload = report.to_json_dict()
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "cosim_report"
+        assert payload["passed"] is True
+        assert "log" not in payload  # the raw log stays out of artifacts
+
+
+@pytest.mark.skipif(
+    find_simulator("auto") is None,
+    reason="no Verilog simulator installed (iverilog/verilator)",
+)
+class TestRealSimulation:
+    def test_xor_passes_exhaustively(self):
+        report = run_cosim(_xor_netlist())
+        assert report.passed
+        assert report.exhaustive
+        assert report.n_vectors == 4
+        assert report.n_mismatches == 0
+
+    def test_tree_label_logic_passes(self, small_tree):
+        netlist = UnaryDecisionTree(small_tree).to_netlist("label_logic")
+        report = run_cosim(netlist)
+        assert report.passed
+        assert report.n_mismatches == 0
+
+    def test_corrupted_dut_is_caught(self, tmp_path, monkeypatch):
+        # Swap the XOR for an OR after testbench generation: the golden
+        # expectations disagree on exactly the (1,1) vector.
+        import repro.circuits.cosim as cosim
+
+        original = cosim.netlist_to_verilog
+
+        def corrupted(netlist, *args, **kwargs):
+            return original(netlist, *args, **kwargs).replace("a ^ b", "a | b")
+
+        monkeypatch.setattr(cosim, "netlist_to_verilog", corrupted)
+        report = run_cosim(_xor_netlist(), workdir=tmp_path)
+        assert not report.passed
+        assert report.n_mismatches == 1
+        assert report.returncode != 0  # $fatal propagated

@@ -1,0 +1,59 @@
+"""Tests for the stdlib markdown link checker behind the CI docs-check step."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs_links)
+
+
+class TestIterMarkdownLinks:
+    def test_links_and_images_with_line_numbers(self):
+        text = "intro\n[a](x.md) and ![img](pic.png)\n[b](y.md#sec)\n"
+        links = list(check_docs_links.iter_markdown_links(text))
+        assert links == [(2, "x.md"), (2, "pic.png"), (3, "y.md#sec")]
+
+    def test_code_fences_are_skipped(self):
+        text = "```\n[not a link](ghost.md)\n```\n[real](real.md)\n"
+        assert list(check_docs_links.iter_markdown_links(text)) == [(4, "real.md")]
+
+
+class TestCheckFile:
+    def test_broken_relative_link_reported(self, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("[gone](missing.md)\n", encoding="utf-8")
+        problems = check_docs_links.check_file(md, tmp_path)
+        assert problems == ["doc.md:1: broken link 'missing.md'"]
+
+    def test_existing_external_and_anchor_links_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("x\n", encoding="utf-8")
+        (tmp_path / "sub").mkdir()
+        md = tmp_path / "doc.md"
+        md.write_text(
+            "[ok](other.md)\n"
+            "[dir](sub)\n"
+            "[anchored](other.md#section)\n"
+            "[web](https://example.com/page)\n"
+            "[mail](mailto:x@example.com)\n"
+            "[inpage](#local-heading)\n",
+            encoding="utf-8",
+        )
+        assert check_docs_links.check_file(md, tmp_path) == []
+
+    def test_root_relative_links_resolve_from_repo_root(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("x\n", encoding="utf-8")
+        md = tmp_path / "docs" / "guide.md"
+        md.write_text("[root](/README.md)\n", encoding="utf-8")
+        assert check_docs_links.check_file(md, tmp_path) == []
+
+
+class TestRepository:
+    def test_this_repo_has_no_broken_links(self):
+        """The same invariant the CI docs-check step enforces."""
+        assert check_docs_links.main([str(REPO_ROOT)]) == 0

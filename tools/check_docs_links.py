@@ -1,0 +1,97 @@
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Scans every ``*.md`` file in the repository for inline links and image
+references (``[text](target)`` / ``![alt](target)``) and verifies that each
+relative target resolves to an existing file or directory.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors (``#...``)
+are skipped; a ``path#anchor`` target is checked for the ``path`` part only.
+
+Used by the ``docs-check`` step of the fast CI gate::
+
+    python tools/check_docs_links.py
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+listed as ``file:line: broken link 'target'``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: ``[text](target)`` with no nested brackets.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository and are not checked.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directory names never scanned for markdown files.
+_SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def iter_markdown_links(text: str):
+    """Yield ``(line_number, target)`` for every inline link in ``text``.
+
+    Fenced code blocks (``` / ~~~) are skipped: their bracketed text is
+    code, not navigation.
+    """
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield line_number, match.group(1)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Broken-link messages for one markdown file (empty when clean)."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, target in iter_markdown_links(text):
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            candidate = repo_root / resolved.lstrip("/")
+        else:
+            candidate = path.parent / resolved
+        if not candidate.exists():
+            rel = path.relative_to(repo_root)
+            problems.append(f"{rel}:{line_number}: broken link '{target}'")
+    return problems
+
+
+def find_markdown_files(repo_root: Path) -> list[Path]:
+    """Every ``*.md`` file under ``repo_root``, skipping tool directories."""
+    return sorted(
+        path
+        for path in repo_root.rglob("*.md")
+        if not any(part in _SKIP_DIRS for part in path.parts)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    files = find_markdown_files(repo_root)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, repo_root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"docs-check: {len(files)} markdown files, "
+        f"{len(problems)} broken links"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
